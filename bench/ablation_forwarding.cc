@@ -1,0 +1,85 @@
+// Ablation (Section 4.2, Code 4): the fill-rate forwarding registers. A
+// naive circuit must stall the pipeline whenever consecutive tuples hit
+// the same partition (a BRAM read-after-write hazard); the forwarding
+// registers remove every stall. We compare cycles on the raw wrapper so
+// the circuit — not the QPI link — is the bottleneck.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datagen/relation.h"
+#include "fpga/partitioner.h"
+
+namespace fpart {
+namespace {
+
+struct Outcome {
+  uint64_t cycles;
+  uint64_t stalls;
+  double mtuples;
+};
+
+Outcome RunOnce(const Relation<Tuple8>& rel, uint32_t fanout,
+                HazardPolicy policy) {
+  FpgaPartitionerConfig config;
+  config.fanout = fanout;
+  config.output_mode = OutputMode::kPad;
+  config.pad_fraction = 2.0;
+  config.hash = HashMethod::kRadix;
+  config.link = LinkKind::kRawWrapper;
+  FpgaPartitioner<Tuple8> part(config);
+  part.set_hazard_policy(policy);
+  auto run = part.Partition(rel.data(), rel.size());
+  if (!run.ok()) return {0, 0, 0};
+  return {run->stats.cycles, run->stats.internal_stall_cycles,
+          run->mtuples_per_sec};
+}
+
+int Run() {
+  bench::Banner("ablation_forwarding", "Section 4.2 (no-stall claim)");
+  const size_t n = static_cast<size_t>(4e6 * BenchScale());
+
+  struct Case {
+    const char* name;
+    uint32_t fanout;
+    bool clustered;
+  };
+  const Case cases[] = {
+      {"uniform keys, 8192 parts", 8192, false},
+      {"uniform keys, 64 parts", 64, false},
+      {"clustered keys, 64 parts", 64, true},
+      {"clustered keys, 16 parts", 16, true},
+  };
+
+  std::printf("%-28s | %12s %8s | %12s %8s | %8s\n", "input",
+              "fwd cycles", "Mt/s", "stall cycles", "Mt/s", "slowdown");
+  for (const Case& c : cases) {
+    auto rel = Relation<Tuple8>::Allocate(n);
+    if (!rel.ok()) return 1;
+    Rng rng(5);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t key = c.clustered
+                         ? static_cast<uint32_t>((i / 256) % c.fanout)
+                         : rng.Next32() & 0x7fffffffu;
+      (*rel)[i] = Tuple8{key, static_cast<uint32_t>(i)};
+    }
+    Outcome fwd = RunOnce(*rel, c.fanout, HazardPolicy::kForward);
+    Outcome stall = RunOnce(*rel, c.fanout, HazardPolicy::kStall);
+    std::printf("%-28s | %12llu %8.0f | %12llu %8.0f | %7.2fx\n", c.name,
+                static_cast<unsigned long long>(fwd.cycles), fwd.mtuples,
+                static_cast<unsigned long long>(stall.stalls), stall.mtuples,
+                fwd.mtuples > 0 ? fwd.mtuples / stall.mtuples : 0.0);
+    if (fwd.stalls != 0) std::printf("  !! forwarding circuit stalled\n");
+  }
+  std::printf(
+      "\nExpected shape: the forwarding circuit never stalls (the paper's "
+      "headline\nproperty); the naive circuit loses up to ~2/3 of its "
+      "throughput on\nsame-partition runs, which any low-fan-out or "
+      "clustered input produces.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

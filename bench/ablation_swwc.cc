@@ -1,0 +1,57 @@
+// Ablation (Section 3.1): software-managed write-combining buffers on the
+// CPU — Code 1 (direct scatter) vs Code 2 (cache-resident buffers) vs
+// Code 2 with non-temporal streaming stores, across fan-outs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cpu/partitioner.h"
+#include "datagen/workloads.h"
+
+namespace fpart {
+namespace {
+
+double Throughput(const Relation<Tuple8>& rel, uint32_t fanout,
+                  bool use_buffers, bool non_temporal) {
+  CpuPartitionerConfig config;
+  config.fanout = fanout;
+  config.hash = HashMethod::kRadix;
+  config.num_threads = 1;
+  config.use_buffers = use_buffers;
+  config.non_temporal = non_temporal;
+  // Best of three runs, as partitioning microbenchmarks usually report.
+  double best = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto run = CpuPartition(config, rel.data(), rel.size());
+    if (run.ok() && run->mtuples_per_sec > best) best = run->mtuples_per_sec;
+  }
+  return best;
+}
+
+int Run() {
+  bench::Banner("ablation_swwc", "Section 3.1 (Code 1 vs Code 2 vs NT)");
+  const size_t n = static_cast<size_t>(32e6 * BenchScale() / 8.0);
+  auto rel = GenerateRawRelation(n, KeyDistribution::kRandom, 7);
+  if (!rel.ok()) return 1;
+
+  std::printf("single-threaded radix partitioning of %zu tuples "
+              "(Mtuples/s):\n\n", n);
+  std::printf("%8s | %14s %14s %14s\n", "fanout", "naive (Code 1)",
+              "buffers(Code 2)", "buffers + NT");
+  for (uint32_t fanout : {64u, 512u, 1024u, 4096u, 8192u}) {
+    std::printf("%8u | %14.0f %14.0f %14.0f\n", fanout,
+                Throughput(*rel, fanout, false, false),
+                Throughput(*rel, fanout, true, false),
+                Throughput(*rel, fanout, true, true));
+  }
+  std::printf(
+      "\nExpected shape: the naive scatter collapses at high fan-out "
+      "(one TLB/cache\nmiss per tuple); software-managed buffers keep "
+      "single-pass partitioning fast,\nand non-temporal stores add a "
+      "further margin by avoiding read-for-ownership.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

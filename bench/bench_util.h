@@ -1,0 +1,26 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+
+namespace fpart {
+namespace bench {
+
+/// Print the standard experiment banner with the active scale factor.
+inline void Banner(const char* experiment, const char* paper_ref) {
+  std::printf("=== %s — reproduces %s ===\n", experiment, paper_ref);
+  std::printf("(FPART_SCALE=%.4g of paper size; FPART_THREADS up to %zu)\n\n",
+              BenchScale(), BenchMaxThreads());
+}
+
+/// Relative deviation in percent (measured vs paper), for the
+/// paper-vs-measured columns.
+inline double DeltaPct(double measured, double paper) {
+  return paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
+}
+
+}  // namespace bench
+}  // namespace fpart

@@ -1,0 +1,59 @@
+// Extension (Section 7 context, Schuh et al. [31]): partitioned radix hash
+// join vs non-partitioned hash join vs sort-merge join on workload A, plus
+// the hybrid join.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/fpart.h"
+
+namespace fpart {
+namespace {
+
+int Run() {
+  bench::Banner("ext_join_algorithms", "Section 7 / [31] comparison context");
+  const double scale = BenchScale() / 8.0;
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kA, scale), 7);
+  if (!input.ok()) return 1;
+  const size_t threads = BenchMaxThreads();
+  std::printf("workload A, |R| = |S| = %zu, %zu threads\n\n",
+              input->r.size(), threads);
+  std::printf("%-26s | %9s %9s %9s | %10s\n", "algorithm", "phase1",
+              "phase2", "total", "Mtuples/s");
+
+  auto report = [&](const char* name, const Result<JoinResult>& r) {
+    if (!r.ok()) {
+      std::printf("%-26s | %s\n", name, r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-26s | %9.3f %9.3f %9.3f | %10.0f\n", name,
+                r->partition_seconds, r->build_probe_seconds,
+                r->total_seconds, r->mtuples_per_sec);
+    if (r->matches != input->s.size()) std::printf("   !! wrong matches\n");
+  };
+
+  CpuJoinConfig cpu;
+  cpu.fanout = 8192;
+  cpu.num_threads = threads;
+  report("CPU radix join", CpuRadixJoin(cpu, input->r, input->s));
+
+  HybridJoinConfig hybrid;
+  hybrid.fpga.fanout = 8192;
+  hybrid.num_threads = threads;
+  report("hybrid CPU+FPGA join", HybridJoin(hybrid, input->r, input->s));
+
+  report("non-partitioned hash join",
+         NoPartitionJoin(threads, input->r, input->s));
+  report("sort-merge join", SortMergeJoin(threads, input->r, input->s));
+
+  std::printf(
+      "\nExpected shape ([31], Section 3.3): the partitioned radix join "
+      "wins on large\nunskewed relations; the non-partitioned join pays a "
+      "cache/TLB miss per probe;\nsort-based joins trail hash-based "
+      "ones.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

@@ -1,0 +1,85 @@
+// Figure 2: memory throughput available to the CPU and QPI throughput
+// available to the FPGA as a function of the sequential-read to
+// random-write mix, alone and under mutual interference.
+//
+// The platform curves are the calibrated model (the Xeon+FPGA machine is
+// unavailable); a host microbenchmark measures the same mix sweep on this
+// machine's memory system for reference.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "qpi/bandwidth_model.h"
+
+namespace fpart {
+namespace {
+
+// Host: stream `read_lines` sequential cache lines and scatter
+// `write_lines` random cache lines over a buffer; returns GB/s.
+double HostMixGBs(double read_share, size_t total_mb) {
+  const size_t lines = total_mb * (1 << 20) / kCacheLineSize;
+  const size_t read_lines = static_cast<size_t>(lines * read_share);
+  const size_t write_lines = lines - read_lines;
+  auto src = AlignedBuffer::Allocate(lines * kCacheLineSize);
+  auto dst = AlignedBuffer::Allocate(lines * kCacheLineSize);
+  if (!src.ok() || !dst.ok()) return 0.0;
+  // Touch once to fault pages in.
+  volatile uint64_t sink = 0;
+  auto* s64 = src->data_as<uint64_t>();
+  auto* d64 = dst->mutable_data_as<uint64_t>();
+  Rng rng(7);
+
+  Timer timer;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < read_lines; ++i) {
+    // One 64 B line = 8 sequential loads.
+    const uint64_t* line = s64 + i * 8;
+    for (int w = 0; w < 8; ++w) acc += line[w];
+  }
+  for (size_t i = 0; i < write_lines; ++i) {
+    uint64_t* line = d64 + rng.Below(lines) * 8;
+    for (int w = 0; w < 8; ++w) line[w] = acc + w;
+  }
+  double seconds = timer.Seconds();
+  sink = acc;
+  (void)sink;
+  return lines * kCacheLineSize / seconds / 1e9;
+}
+
+int Run() {
+  bench::Banner("fig02_bandwidth", "Figure 2");
+  const size_t mb = static_cast<size_t>(256 * BenchScale());
+
+  std::printf("%-10s %12s %12s %12s %12s %14s\n", "read/write",
+              "CPU alone", "FPGA alone", "CPU interf.", "FPGA interf.",
+              "host measured");
+  std::printf("%-10s %12s %12s %12s %12s %14s\n", "(mix)", "GB/s (model)",
+              "GB/s (model)", "GB/s (model)", "GB/s (model)", "GB/s");
+  for (int i = 10; i >= 0; --i) {
+    double f = i / 10.0;
+    std::printf("%4.1f/%-4.1f  %12.2f %12.2f %12.2f %12.2f %14.2f\n", f,
+                1.0 - f,
+                MemoryBandwidthGBs(MemoryAgent::kCpu, Interference::kAlone, f),
+                MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone,
+                                   f),
+                MemoryBandwidthGBs(MemoryAgent::kCpu,
+                                   Interference::kInterfered, f),
+                MemoryBandwidthGBs(MemoryAgent::kFpga,
+                                   Interference::kInterfered, f),
+                HostMixGBs(f, mb));
+  }
+  std::printf(
+      "\nCalibration anchors (Section 4.8): B(r=2)=%.2f  B(r=1)=%.2f  "
+      "B(r=0.5)=%.2f GB/s\n",
+      QpiBandwidthForRatio(2.0), QpiBandwidthForRatio(1.0),
+      QpiBandwidthForRatio(0.5));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

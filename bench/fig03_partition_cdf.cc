@@ -1,0 +1,75 @@
+// Figure 3: distribution of tuples across 8192 partitions under radix vs
+// hash partitioning for the four key distributions, rendered as a CDF
+// table (number of partitions with at most X tuples).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/workloads.h"
+#include "hash/hash_function.h"
+
+namespace fpart {
+namespace {
+
+std::vector<uint64_t> Histogram(const Relation<Tuple8>& rel, HashMethod method,
+                                uint32_t fanout) {
+  PartitionFn fn(method, fanout);
+  std::vector<uint64_t> hist(fanout, 0);
+  for (const auto& t : rel) ++hist[fn(t.key)];
+  return hist;
+}
+
+int Run() {
+  bench::Banner("fig03_partition_cdf", "Figure 3a/3b");
+  const uint32_t fanout = 8192;
+  const size_t n = static_cast<size_t>(64e6 * BenchScale() / 8.0);
+  const double avg = static_cast<double>(n) / fanout;
+
+  const KeyDistribution dists[] = {
+      KeyDistribution::kLinear, KeyDistribution::kRandom,
+      KeyDistribution::kGrid, KeyDistribution::kReverseGrid};
+
+  // CDF sampling points as multiples of the average partition size (the
+  // paper's x-axis 0..65536 corresponds to 0..4x the 16384 average).
+  const double points[] = {0.0, 0.5, 1.0, 1.5, 2.0, 4.0};
+
+  for (HashMethod method : {HashMethod::kRadix, HashMethod::kMurmur}) {
+    std::printf("--- %s partitioning (Figure 3%s), %u partitions, %zu keys\n",
+                method == HashMethod::kRadix ? "Radix" : "Hash (murmur)",
+                method == HashMethod::kRadix ? "a" : "b", fanout, n);
+    std::printf("%-10s | CDF: #partitions with ≤ k·avg tuples (avg=%.0f)\n",
+                "dist", avg);
+    std::printf("%-10s |", "");
+    for (double p : points) std::printf(" %7.1fx", p);
+    std::printf("  %9s %9s\n", "max", "empty");
+    for (KeyDistribution dist : dists) {
+      auto rel = GenerateRawRelation(n, dist, 7);
+      if (!rel.ok()) return 1;
+      auto hist = Histogram(*rel, method, fanout);
+      std::printf("%-10s |", KeyDistributionName(dist));
+      for (double p : points) {
+        uint64_t limit = static_cast<uint64_t>(p * avg);
+        size_t count = 0;
+        for (uint64_t h : hist) count += (h <= limit);
+        std::printf(" %8zu", count);
+      }
+      uint64_t max = *std::max_element(hist.begin(), hist.end());
+      size_t empty = 0;
+      for (uint64_t h : hist) empty += (h == 0);
+      std::printf("  %9llu %9zu\n", static_cast<unsigned long long>(max),
+                  empty);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): radix is balanced only for linear/random; "
+      "grid distributions\ncollapse onto few partitions. Murmur hashing is "
+      "balanced for all four.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

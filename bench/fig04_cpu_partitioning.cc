@@ -1,0 +1,80 @@
+// Figure 4: CPU partitioning throughput (8 B tuples, 8192 partitions) for
+// 1–10 threads, radix partitioning on the four key distributions vs
+// murmur hash partitioning.
+//
+// Host columns are measured on this machine (a single-core host serializes
+// the thread sweep); the "Xeon-10" column is the calibrated model of the
+// paper's machine, which carries the figure's shape: hash partitioning
+// starts ~2x slower but both saturate at the same memory bound.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cpu/partitioner.h"
+#include "datagen/workloads.h"
+#include "model/cpu_model.h"
+
+namespace fpart {
+namespace {
+
+int Run() {
+  bench::Banner("fig04_cpu_partitioning", "Figure 4");
+  const uint32_t fanout = 8192;
+  const size_t n = static_cast<size_t>(128e6 * BenchScale() / 8.0);
+  const size_t threads[] = {1, 2, 4, 8, 10};
+  const size_t host_max = BenchMaxThreads();
+
+  const KeyDistribution dists[] = {
+      KeyDistribution::kLinear, KeyDistribution::kRandom,
+      KeyDistribution::kGrid, KeyDistribution::kReverseGrid};
+
+  std::printf("Measured on host (Mtuples/s), n=%zu:\n", n);
+  std::printf("%8s", "threads");
+  for (KeyDistribution d : dists) std::printf(" %14s", KeyDistributionName(d));
+  std::printf(" %14s\n", "hash(all)");
+  for (size_t t : threads) {
+    if (t > host_max) continue;
+    std::printf("%8zu", t);
+    for (KeyDistribution d : dists) {
+      auto rel = GenerateRawRelation(n, d, 7);
+      if (!rel.ok()) return 1;
+      CpuPartitionerConfig config;
+      config.fanout = fanout;
+      config.hash = HashMethod::kRadix;
+      config.num_threads = t;
+      auto run = CpuPartition(config, rel->data(), rel->size());
+      std::printf(" %14.0f", run.ok() ? run->mtuples_per_sec : -1.0);
+    }
+    {
+      auto rel = GenerateRawRelation(n, KeyDistribution::kRandom, 7);
+      CpuPartitionerConfig config;
+      config.fanout = fanout;
+      config.hash = HashMethod::kMurmur;
+      config.num_threads = t;
+      auto run = CpuPartition(config, rel->data(), rel->size());
+      std::printf(" %14.0f\n", run.ok() ? run->mtuples_per_sec : -1.0);
+    }
+  }
+
+  std::printf("\nCalibrated Xeon E5-2680 v2 model (Mtuples/s), the Figure 4 "
+              "shape:\n");
+  std::printf("%8s %14s %14s\n", "threads", "radix", "hash");
+  for (size_t t : threads) {
+    std::printf("%8zu %14.0f %14.0f\n", t,
+                CpuCostModel::PartitionRateTuplesPerSec(t,
+                                                        HashMethod::kRadix) /
+                    1e6,
+                CpuCostModel::PartitionRateTuplesPerSec(t,
+                                                        HashMethod::kMurmur) /
+                    1e6);
+  }
+  std::printf("\nExpected shape (paper): radix delivers the same throughput "
+              "for every distribution;\nhash partitioning is slower at few "
+              "threads and catches up once memory bound.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

@@ -1,0 +1,119 @@
+// Figure 9 + Section 4.8: end-to-end partitioning throughput of the four
+// FPGA operation modes vs the 10-threaded CPU partitioner, plus the raw
+// (25.6 GB/s wrapper) circuit throughput and the analytical model's
+// predictions. 8 B tuples, 8192 partitions.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fpart.h"
+#include "model/paper_constants.h"
+
+namespace fpart {
+namespace {
+
+struct Row {
+  const char* name;
+  double measured;
+  double paper;
+  double model;
+};
+
+int Run() {
+  bench::Banner("fig09_modes", "Figure 9 and Section 4.8 (model validation)");
+  const size_t n =
+      static_cast<size_t>(128e6 * BenchScale() / 8.0);  // default 16e6
+  const uint32_t fanout = 8192;
+
+  auto rel = GenerateUniqueRelation(n, KeyDistribution::kRandom, 7);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n",
+                 rel.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = (*rel)[i].key;
+
+  FpgaCostModel model(8, fanout);
+  std::vector<Row> rows;
+  rows.push_back({"[27] (32 cores)", 0, paper::kFig9Polychroniou32Cores, 0});
+  rows.push_back({"[37] (FPGA)", 0, paper::kFig9WangFpga, 0});
+
+  auto run_fpga = [&](const char* name, OutputMode mode, LayoutMode layout,
+                      LinkKind link, double paper_num) {
+    FpgaPartitionerConfig config;
+    config.fanout = fanout;
+    config.output_mode = mode;
+    config.layout = layout;
+    config.link = link;
+    FpgaPartitioner<Tuple8> part(config);
+    auto result = layout == LayoutMode::kVrid
+                      ? part.PartitionColumn(keys.data(), n)
+                      : part.Partition(rel->data(), n);
+    double measured = result.ok() ? result->mtuples_per_sec : -1;
+    double predicted =
+        model.TotalRateTuplesPerSec(n, mode, layout, link) / 1e6;
+    rows.push_back({name, measured, paper_num, predicted});
+  };
+
+  run_fpga("HIST/RID", OutputMode::kHist, LayoutMode::kRid,
+           LinkKind::kXeonFpga, paper::kFig9HistRid);
+  run_fpga("HIST/VRID", OutputMode::kHist, LayoutMode::kVrid,
+           LinkKind::kXeonFpga, paper::kFig9HistVrid);
+  run_fpga("PAD/RID", OutputMode::kPad, LayoutMode::kRid, LinkKind::kXeonFpga,
+           paper::kFig9PadRid);
+  run_fpga("PAD/VRID", OutputMode::kPad, LayoutMode::kVrid,
+           LinkKind::kXeonFpga, paper::kFig9PadVrid);
+
+  {
+    CpuPartitionerConfig config;
+    config.fanout = fanout;
+    config.hash = HashMethod::kRadix;
+    config.num_threads = BenchMaxThreads();
+    auto result = CpuPartition(config, rel->data(), n);
+    rows.push_back({"CPU (10 cores)",
+                    result.ok() ? result->mtuples_per_sec : -1,
+                    paper::kFig9Cpu10Cores, 0});
+  }
+
+  run_fpga("Raw FPGA (HIST)", OutputMode::kHist, LayoutMode::kRid,
+           LinkKind::kRawWrapper, paper::kFig9RawHist);
+  run_fpga("Raw FPGA (PAD)", OutputMode::kPad, LayoutMode::kRid,
+           LinkKind::kRawWrapper, paper::kFig9RawPad);
+
+  std::printf("%-18s %12s %12s %12s %8s\n", "configuration",
+              "measured Mt/s", "paper Mt/s", "model Mt/s", "Δpaper");
+  for (const Row& row : rows) {
+    if (row.measured <= 0 && row.model <= 0) {
+      std::printf("%-18s %12s %12.0f %12s %8s\n", row.name, "-", row.paper,
+                  "-", "-");
+    } else {
+      std::printf("%-18s %12.0f %12.0f %12.0f %+7.1f%%\n", row.name,
+                  row.measured, row.paper, row.model,
+                  bench::DeltaPct(row.measured, row.paper));
+    }
+  }
+
+  std::printf("\nSection 4.8 model validation (N=%zu, W=8B):\n", n);
+  std::printf("  HIST/RID  r=2.0: model %4.0f Mt/s (paper derives 294)\n",
+              model.TotalRateTuplesPerSec(n, OutputMode::kHist,
+                                          LayoutMode::kRid,
+                                          LinkKind::kXeonFpga) /
+                  1e6);
+  std::printf("  PAD/RID   r=1.0: model %4.0f Mt/s (paper derives 435)\n",
+              model.TotalRateTuplesPerSec(n, OutputMode::kPad,
+                                          LayoutMode::kRid,
+                                          LinkKind::kXeonFpga) /
+                  1e6);
+  std::printf("  PAD/VRID  r=0.5: model %4.0f Mt/s (paper derives 495)\n",
+              model.TotalRateTuplesPerSec(n, OutputMode::kPad,
+                                          LayoutMode::kVrid,
+                                          LinkKind::kXeonFpga) /
+                  1e6);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

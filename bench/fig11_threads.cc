@@ -1,0 +1,85 @@
+// Figure 11: join time on workloads A (equal relations) and B (small build,
+// large probe) for an increasing number of build+probe threads; the CPU
+// join vs the hybrid join in PAD/RID and PAD/VRID modes. 8192 partitions.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fpart.h"
+#include "model/cpu_model.h"
+
+namespace fpart {
+namespace {
+
+void RunWorkload(WorkloadId id, double scale, size_t host_max) {
+  auto input = GenerateWorkload(GetWorkloadSpec(id, scale), 7);
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return;
+  }
+  const uint32_t fanout = 8192;
+  std::printf("--- Workload %s: |R|=%zu |S|=%zu\n", input->spec.name,
+              input->r.size(), input->s.size());
+
+  // FPGA partitioning time does not depend on the CPU thread count; run
+  // each layout's simulation once.
+  auto hybrid_once = [&](LayoutMode layout, size_t threads) {
+    HybridJoinConfig config;
+    config.fpga.fanout = fanout;
+    config.fpga.output_mode = OutputMode::kPad;
+    config.fpga.layout = layout;
+    config.num_threads = threads;
+    return HybridJoin(config, input->r, input->s);
+  };
+
+  std::printf("%8s | %9s %9s | %9s %9s | %9s %9s | %9s %9s\n", "threads",
+              "CPU part", "CPU tot", "RID part", "RID tot", "VRID part",
+              "VRID tot", "XeonModel", "FPGAmodel");
+  FpgaCostModel model(8, fanout);
+  const double fpga_pred =
+      model.PredictSeconds(input->r.size(), OutputMode::kPad,
+                           LayoutMode::kRid, LinkKind::kXeonFpga) +
+      model.PredictSeconds(input->s.size(), OutputMode::kPad,
+                           LayoutMode::kRid, LinkKind::kXeonFpga);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8},
+                         size_t{10}}) {
+    if (threads > host_max) continue;
+    CpuJoinConfig cpu;
+    cpu.fanout = fanout;
+    cpu.num_threads = threads;
+    auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
+    auto rid = hybrid_once(LayoutMode::kRid, threads);
+    auto vrid = hybrid_once(LayoutMode::kVrid, threads);
+    if (!cpu_result.ok() || !rid.ok() || !vrid.ok()) {
+      std::printf("%8zu | error\n", threads);
+      continue;
+    }
+    std::printf(
+        "%8zu | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f\n",
+        threads, cpu_result->partition_seconds, cpu_result->total_seconds,
+        rid->partition_seconds, rid->total_seconds, vrid->partition_seconds,
+        vrid->total_seconds,
+        CpuCostModel::JoinSeconds(input->r.size(), input->s.size(), fanout,
+                                  threads, HashMethod::kRadix),
+        fpga_pred);
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  bench::Banner("fig11_threads", "Figure 11a/11b");
+  const double scale = BenchScale() / 8.0;
+  const size_t host_max = BenchMaxThreads();
+  RunWorkload(WorkloadId::kA, scale, host_max);
+  RunWorkload(WorkloadId::kB, scale, host_max);
+  std::printf(
+      "Expected shape (paper): VRID partitions fastest (half the reads); "
+      "with 10\nthreads the CPU join edges out the hybrid because "
+      "build+probe after FPGA\npartitioning pays the snoop penalty.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

@@ -1,0 +1,84 @@
+// Figure 12: join time on workloads C (random), D (grid) and E (reverse
+// grid) after radix vs hash partitioning — CPU both ways, FPGA with hash
+// partitioning (free on the circuit). 8192 partitions.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/fpart.h"
+#include "model/cpu_model.h"
+
+namespace fpart {
+namespace {
+
+void RunWorkload(WorkloadId id, double scale, size_t threads) {
+  auto input = GenerateWorkload(GetWorkloadSpec(id, scale), 7);
+  if (!input.ok()) return;
+  std::printf("--- Workload %s (%s keys), %zu-threaded\n", input->spec.name,
+              KeyDistributionName(input->spec.dist), threads);
+  std::printf("%-24s | %9s %9s %9s\n", "configuration", "part", "b+p",
+              "total");
+
+  CpuJoinConfig cpu;
+  cpu.fanout = 8192;
+  cpu.num_threads = threads;
+
+  cpu.hash = HashMethod::kRadix;
+  auto radix = CpuRadixJoin(cpu, input->r, input->s);
+  if (radix.ok()) {
+    std::printf("%-24s | %9.3f %9.3f %9.3f\n", "CPU radix part.",
+                radix->partition_seconds, radix->build_probe_seconds,
+                radix->total_seconds);
+  }
+
+  cpu.hash = HashMethod::kMurmur;
+  auto hash = CpuRadixJoin(cpu, input->r, input->s);
+  if (hash.ok()) {
+    std::printf("%-24s | %9.3f %9.3f %9.3f\n", "CPU hash part.",
+                hash->partition_seconds, hash->build_probe_seconds,
+                hash->total_seconds);
+  }
+
+  HybridJoinConfig hybrid;
+  hybrid.fpga.fanout = 8192;
+  hybrid.fpga.output_mode = OutputMode::kPad;
+  hybrid.fpga.hash = HashMethod::kMurmur;
+  hybrid.num_threads = threads;
+  auto fpga = HybridJoin(hybrid, input->r, input->s);
+  if (fpga.ok()) {
+    std::printf("%-24s | %9.3f %9.3f %9.3f\n", "FPGA (PAD/RID) hash",
+                fpga->partition_seconds, fpga->build_probe_seconds,
+                fpga->total_seconds);
+  } else {
+    std::printf("%-24s | %s\n", "FPGA (PAD/RID) hash",
+                fpga.status().ToString().c_str());
+  }
+
+  if (radix.ok() && hash.ok()) {
+    double gain = (radix->build_probe_seconds - hash->build_probe_seconds) /
+                  radix->build_probe_seconds * 100.0;
+    std::printf("build+probe improvement from hash partitioning: %+.1f%% "
+                "(paper: ~0%% C, 11%% D, 35%% E)\n",
+                gain);
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  bench::Banner("fig12_distributions", "Figure 12a/12b/12c");
+  const double scale = BenchScale() / 8.0;
+  const size_t threads = BenchMaxThreads();
+  RunWorkload(WorkloadId::kC, scale, threads);
+  RunWorkload(WorkloadId::kD, scale, threads);
+  RunWorkload(WorkloadId::kE, scale, threads);
+  std::printf(
+      "Expected shape (paper): for the grid distributions radix "
+      "partitioning leaves\npartitions unbalanced, slowing build+probe; "
+      "hash partitioning fixes that but\nslows *CPU* partitioning at few "
+      "threads — on the FPGA the robust hash is free.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

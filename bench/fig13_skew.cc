@@ -1,0 +1,76 @@
+// Figure 13: join time on workload A when relation S is Zipf-skewed, for
+// factors 0.25–1.75. The FPGA partitions in HIST/RID mode (PAD overflows
+// beyond z ≈ 0.25); the CPU join handles skew natively via its histogram.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/fpart.h"
+#include "model/cpu_model.h"
+
+namespace fpart {
+namespace {
+
+int Run() {
+  bench::Banner("fig13_skew", "Figure 13");
+  const double scale = BenchScale() / 8.0;
+  const size_t threads = BenchMaxThreads();
+  const uint32_t fanout = 8192;
+
+  std::printf("%6s | %9s %9s %9s | %9s %9s %9s | %9s | %5s\n", "zipf",
+              "CPU part", "CPU b+p", "CPU tot", "FPGA part", "hyb b+p",
+              "hyb tot", "FPGAmodel", "PADok");
+  FpgaCostModel model(8, fanout);
+  for (double z : {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75}) {
+    WorkloadSpec spec = GetWorkloadSpec(WorkloadId::kA, scale);
+    spec.zipf = z;
+    auto input = GenerateWorkload(spec, 7);
+    if (!input.ok()) return 1;
+
+    CpuJoinConfig cpu;
+    cpu.fanout = fanout;
+    cpu.num_threads = threads;
+    auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
+
+    // Does PAD survive this skew? (Paper: fails for z > 0.25.)
+    HybridJoinConfig pad;
+    pad.fpga.fanout = fanout;
+    pad.fpga.output_mode = OutputMode::kPad;
+    pad.num_threads = 1;
+    bool pad_ok = HybridJoin(pad, input->r, input->s).ok();
+
+    HybridJoinConfig hist = pad;
+    hist.fpga.output_mode = OutputMode::kHist;
+    hist.num_threads = threads;
+    auto hybrid_result = HybridJoin(hist, input->r, input->s);
+
+    double fpga_pred =
+        model.PredictSeconds(input->r.size(), OutputMode::kHist,
+                             LayoutMode::kRid, LinkKind::kXeonFpga) +
+        model.PredictSeconds(input->s.size(), OutputMode::kHist,
+                             LayoutMode::kRid, LinkKind::kXeonFpga);
+
+    if (cpu_result.ok() && hybrid_result.ok()) {
+      std::printf(
+          "%6.2f | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f | %9.3f | %5s\n", z,
+          cpu_result->partition_seconds, cpu_result->build_probe_seconds,
+          cpu_result->total_seconds, hybrid_result->partition_seconds,
+          hybrid_result->build_probe_seconds, hybrid_result->total_seconds,
+          fpga_pred, pad_ok ? "yes" : "no");
+    } else {
+      std::printf("%6.2f | error: %s\n", z,
+                  cpu_result.ok() ? hybrid_result.status().ToString().c_str()
+                                  : cpu_result.status().ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): HIST/RID partitioning is ~constant across "
+      "skews but\nslower than the 10-core CPU (it scans twice over the "
+      "bandwidth-starved QPI);\nbuild+probe shrinks with skew as probes hit "
+      "hot, cached keys. PAD mode\noverflows for z > 0.25.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

@@ -1,0 +1,87 @@
+// google-benchmark micro-benchmarks of the hashing primitives: the cost
+// the CPU pays per partitioning attribute (and the FPGA does not —
+// Section 3.2's robustness/throughput trade-off in isolation).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/zipf.h"
+#include "datagen/workloads.h"
+#include "hash/hash_function.h"
+#include "hash/murmur.h"
+
+namespace fpart {
+namespace {
+
+void BM_Murmur32(benchmark::State& state) {
+  uint32_t key = 0x9e3779b9;
+  for (auto _ : state) {
+    key = Murmur32(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_Murmur32);
+
+void BM_Murmur64(benchmark::State& state) {
+  uint64_t key = 0x9e3779b97f4a7c15ULL;
+  for (auto _ : state) {
+    key = Murmur64(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_Murmur64);
+
+void BM_Crc32c(benchmark::State& state) {
+  uint64_t key = 1;
+  for (auto _ : state) {
+    key += Crc32c64(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_PartitionFn(benchmark::State& state) {
+  PartitionFn fn(static_cast<HashMethod>(state.range(0)), 8192);
+  uint32_t key = 12345;
+  for (auto _ : state) {
+    key += fn(key);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_PartitionFn)
+    ->Arg(static_cast<int>(HashMethod::kRadix))
+    ->Arg(static_cast<int>(HashMethod::kMurmur))
+    ->Arg(static_cast<int>(HashMethod::kMultiplicative))
+    ->Arg(static_cast<int>(HashMethod::kCrc32));
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1 << 20, state.range(0) / 100.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(0)->Arg(50)->Arg(100)->Arg(175);
+
+void BM_Feistel32(benchmark::State& state) {
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Feistel32(++i, 42));
+  }
+}
+BENCHMARK(BM_Feistel32);
+
+void BM_KeyGenerator(benchmark::State& state) {
+  KeyGenerator gen(static_cast<KeyDistribution>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_KeyGenerator)
+    ->Arg(static_cast<int>(KeyDistribution::kLinear))
+    ->Arg(static_cast<int>(KeyDistribution::kRandom))
+    ->Arg(static_cast<int>(KeyDistribution::kGrid))
+    ->Arg(static_cast<int>(KeyDistribution::kReverseGrid));
+
+}  // namespace
+}  // namespace fpart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// google-benchmark micro-benchmarks of the partitioners themselves:
+// CPU variants per tuple and the simulated-FPGA cycles per tuple.
+#include <benchmark/benchmark.h>
+
+#include "cpu/partitioner.h"
+#include "datagen/workloads.h"
+#include "fpga/partitioner.h"
+
+namespace fpart {
+namespace {
+
+void BM_CpuPartition(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  auto rel = GenerateRawRelation(n, KeyDistribution::kRandom, 7);
+  CpuPartitionerConfig config;
+  config.fanout = static_cast<uint32_t>(state.range(0));
+  config.use_buffers = state.range(1) != 0;
+  for (auto _ : state) {
+    auto run = CpuPartition(config, rel->data(), rel->size());
+    benchmark::DoNotOptimize(run.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CpuPartition)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({8192, 0})
+    ->Args({8192, 1});
+
+void BM_FpgaSimPartition(benchmark::State& state) {
+  const size_t n = 1 << 18;
+  auto rel = GenerateRawRelation(n, KeyDistribution::kRandom, 7);
+  FpgaPartitionerConfig config;
+  config.fanout = static_cast<uint32_t>(state.range(0));
+  config.link = LinkKind::kRawWrapper;
+  for (auto _ : state) {
+    FpgaPartitioner<Tuple8> part(config);
+    auto run = part.Partition(rel->data(), rel->size());
+    benchmark::DoNotOptimize(run.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FpgaSimPartition)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace fpart
+
+BENCHMARK_MAIN();

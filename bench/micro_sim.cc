@@ -1,0 +1,74 @@
+// google-benchmark micro-benchmarks of the cycle-simulation kernel — the
+// cost of simulating one FPGA clock cycle, which bounds how fast the
+// circuit simulator can run large workloads.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fpga/hash_lane.h"
+#include "fpga/write_combiner.h"
+#include "sim/bram.h"
+#include "sim/fifo.h"
+
+namespace fpart {
+namespace {
+
+void BM_FifoPushPop(benchmark::State& state) {
+  Fifo<uint64_t> fifo(64);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    fifo.Push(++v);
+    benchmark::DoNotOptimize(fifo.Pop());
+  }
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_BramCycle(benchmark::State& state) {
+  Bram<uint64_t> bram(8192, 2);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    bram.IssueRead(addr & 8191);
+    bram.Write((addr + 7) & 8191, addr);
+    bram.Tick();
+    benchmark::DoNotOptimize(bram.read_ready());
+    ++addr;
+  }
+}
+BENCHMARK(BM_BramCycle);
+
+void BM_HashLaneCycle(benchmark::State& state) {
+  PartitionFn fn(HashMethod::kMurmur, 8192);
+  Fifo<HashedTuple<Tuple8>> out(1 << 20);
+  HashLane<Tuple8> lane(fn, 5, &out);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    lane.Tick(Tuple8{++i, i});
+    if (out.size() > (1u << 19)) {
+      state.PauseTiming();
+      while (out.Pop()) {
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_HashLaneCycle);
+
+void BM_WriteCombinerCycle(benchmark::State& state) {
+  WriteCombiner<Tuple8> comb(8192, 16, 8);
+  Rng rng(5);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    if (!comb.input().full()) {
+      comb.input().Push(
+          HashedTuple<Tuple8>{rng.Next32() & 8191, Tuple8{++i, i}});
+    }
+    comb.Tick();
+    while (comb.output().Pop()) {
+    }
+  }
+}
+BENCHMARK(BM_WriteCombinerCycle);
+
+}  // namespace
+}  // namespace fpart
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 1: memory access behaviour depending on which socket last wrote a
+// 512 MB region. The FPGA-writer rows cannot be measured without the
+// Xeon+FPGA machine; they are produced by applying the paper's snoop
+// penalty factors to the host-measured CPU-writer baselines, which is
+// exactly how the hybrid join accounts for the effect (Section 2.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "model/paper_constants.h"
+#include "qpi/coherence.h"
+
+namespace fpart {
+namespace {
+
+struct Measured {
+  double seq_seconds;
+  double rand_seconds;
+};
+
+Measured HostReadBench(size_t mb) {
+  const size_t words = mb * (1 << 20) / sizeof(uint64_t);
+  auto buf = AlignedBuffer::Allocate(words * sizeof(uint64_t));
+  if (!buf.ok()) return {0, 0};
+  auto* data = buf->mutable_data_as<uint64_t>();
+  for (size_t i = 0; i < words; ++i) data[i] = i;  // CPU writes the region
+
+  volatile uint64_t sink = 0;
+  uint64_t acc = 0;
+  Timer seq;
+  for (size_t i = 0; i < words; ++i) acc += data[i];
+  double seq_seconds = seq.Seconds();
+
+  // Random reads at cache-line stride, like the probe phase.
+  Rng rng(3);
+  const size_t lines = words / 8;
+  Timer rnd;
+  for (size_t i = 0; i < lines; ++i) acc += data[rng.Below(lines) * 8];
+  double rand_seconds = rnd.Seconds();
+  sink = acc;
+  (void)sink;
+  return {seq_seconds, rand_seconds};
+}
+
+int Run() {
+  bench::Banner("tab01_coherence", "Table 1");
+  const size_t mb = static_cast<size_t>(512 * BenchScale());
+  Measured host = HostReadBench(mb);
+
+  const double seq_factor = CoherenceModel::SequentialReadFactor(
+      LastWriter::kFpga);
+  const double rand_factor = CoherenceModel::RandomReadFactor(
+      LastWriter::kFpga);
+
+  std::printf("host region: %zu MB (scale with FPART_SCALE)\n\n", mb);
+  std::printf("%-14s %18s %18s\n", "", "CPU reads seq.", "CPU reads rand.");
+  std::printf("%-14s %11.4f s host %11.4f s host\n", "CPU writes",
+              host.seq_seconds, host.rand_seconds);
+  std::printf("%-14s %11.4f s mod. %11.4f s mod.   (host × Table 1 factor)\n",
+              "FPGA writes", host.seq_seconds * seq_factor,
+              host.rand_seconds * rand_factor);
+  std::printf("\npaper (512 MB, Xeon E5-2680 v2):\n");
+  std::printf("%-14s %11.4f s      %11.4f s\n", "CPU writes",
+              paper::kTab1CpuWroteSeq, paper::kTab1CpuWroteRand);
+  std::printf("%-14s %11.4f s      %11.4f s\n", "FPGA writes",
+              paper::kTab1FpgaWroteSeq, paper::kTab1FpgaWroteRand);
+  std::printf("\nderived snoop factors: sequential ×%.3f, random ×%.3f\n",
+              seq_factor, rand_factor);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main() { return fpart::Run(); }

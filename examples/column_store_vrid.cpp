@@ -1,0 +1,79 @@
+// VRID mode for column stores (Section 4.5): the FPGA reads only the key
+// column, appends virtual record ids in hardware, and the application
+// materializes full tuples afterwards — trading a later gather for half
+// the QPI read traffic during partitioning.
+//
+//   ./build/examples/column_store_vrid
+#include <cstdio>
+#include <vector>
+
+#include "core/fpart.h"
+
+int main() {
+  using namespace fpart;
+  const size_t n = 4'000'000;
+
+  // A column-store relation: keys and payloads live in separate arrays.
+  auto columns = ColumnRelation<uint32_t>::Allocate(n);
+  if (!columns.ok()) return 1;
+  Rng rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    columns->keys()[i] = rng.Next32() & 0x7fffffffu;
+    columns->payloads()[i] = static_cast<uint32_t>(i * 3);
+  }
+
+  // RID comparison input: the same data materialized as rows.
+  auto rows = Relation<Tuple8>::Allocate(n);
+  if (!rows.ok()) return 1;
+  for (size_t i = 0; i < n; ++i) {
+    (*rows)[i] = Tuple8{columns->keys()[i], columns->payloads()[i]};
+  }
+
+  FpgaPartitionerConfig config;
+  config.fanout = 8192;
+  config.output_mode = OutputMode::kPad;
+
+  config.layout = LayoutMode::kRid;
+  FpgaPartitioner<Tuple8> rid(config);
+  auto rid_run = rid.Partition(rows->data(), n);
+
+  config.layout = LayoutMode::kVrid;
+  FpgaPartitioner<Tuple8> vrid(config);
+  auto vrid_run = vrid.PartitionColumn(columns->keys(), n);
+
+  if (!rid_run.ok() || !vrid_run.ok()) {
+    std::fprintf(stderr, "partitioning failed\n");
+    return 1;
+  }
+  std::printf("RID : %6.0f Mtuples/s, %llu lines read over QPI\n",
+              rid_run->mtuples_per_sec,
+              static_cast<unsigned long long>(rid_run->stats.read_lines));
+  std::printf("VRID: %6.0f Mtuples/s, %llu lines read over QPI "
+              "(half: keys only)\n",
+              vrid_run->mtuples_per_sec,
+              static_cast<unsigned long long>(vrid_run->stats.read_lines));
+
+  // Materialize the first non-empty partition: VRID payloads index the
+  // payload column.
+  for (size_t p = 0; p < vrid_run->output.num_partitions(); ++p) {
+    if (vrid_run->output.part(p).num_tuples == 0) continue;
+    const Tuple8* data = vrid_run->output.partition_data(p);
+    size_t shown = 0;
+    std::printf("\npartition %zu, first tuples materialized via VRID:\n", p);
+    for (size_t i = 0; i < vrid_run->output.partition_slots(p) && shown < 4;
+         ++i) {
+      if (IsDummy(data[i])) continue;
+      uint32_t vrid_id = data[i].payload;
+      std::printf("  key=%10u  vrid=%8u  ->  payload=%10u\n", data[i].key,
+                  vrid_id, columns->payloads()[vrid_id]);
+      if (columns->keys()[vrid_id] != data[i].key) {
+        std::printf("  ERROR: vrid does not map back to the key!\n");
+        return 1;
+      }
+      ++shown;
+    }
+    break;
+  }
+  std::printf("\nVRID round trip verified.\n");
+  return 0;
+}

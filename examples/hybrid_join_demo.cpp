@@ -1,0 +1,71 @@
+// End-to-end hybrid join demo: the FPGA circuit partitions both relations
+// while the CPU executes the cache-resident build+probe — the paper's
+// headline experiment (Section 5) on a workload-A-style input.
+//
+//   ./build/examples/hybrid_join_demo [million_tuples_per_relation]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fpart.h"
+
+int main(int argc, char** argv) {
+  using namespace fpart;
+  double millions = argc > 1 ? std::atof(argv[1]) : 4.0;
+  if (millions <= 0) millions = 4.0;
+
+  WorkloadSpec spec = GetWorkloadSpec(WorkloadId::kA, millions * 1e6 / 128e6);
+  std::printf("Generating workload A at |R| = |S| = %zu tuples...\n",
+              spec.num_r);
+  auto input = GenerateWorkload(spec);
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  const size_t threads = BenchMaxThreads();
+  std::printf("build+probe threads: %zu\n\n", threads);
+
+  // Pure CPU radix join.
+  CpuJoinConfig cpu;
+  cpu.fanout = 8192;
+  cpu.num_threads = threads;
+  auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
+  if (!cpu_result.ok()) {
+    std::fprintf(stderr, "%s\n", cpu_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Hybrid join, PAD/RID.
+  HybridJoinConfig hybrid;
+  hybrid.fpga.fanout = 8192;
+  hybrid.fpga.output_mode = OutputMode::kPad;
+  hybrid.num_threads = threads;
+  auto hybrid_result = HybridJoin(hybrid, input->r, input->s);
+  if (!hybrid_result.ok()) {
+    std::fprintf(stderr, "%s\n", hybrid_result.status().ToString().c_str());
+    return 1;
+  }
+
+  auto report = [&](const char* name, const JoinResult& r) {
+    std::printf("%-22s partition %.3fs + build/probe %.3fs = %.3fs  "
+                "(%.0f Mtuples/s, %llu matches)\n",
+                name, r.partition_seconds, r.build_probe_seconds,
+                r.total_seconds, r.mtuples_per_sec,
+                static_cast<unsigned long long>(r.matches));
+  };
+  report("CPU radix join:", *cpu_result);
+  report("Hybrid CPU+FPGA join:", *hybrid_result);
+
+  if (cpu_result->matches != hybrid_result->matches ||
+      cpu_result->checksum != hybrid_result->checksum) {
+    std::printf("\nERROR: joins disagree!\n");
+    return 1;
+  }
+  std::printf("\nBoth joins agree (%llu matches, checksum %llu). The FPGA "
+              "partitioning time is\nsimulated circuit time (cycles x 5ns); "
+              "build+probe after the FPGA includes the\nTable 1 coherence "
+              "penalty.\n",
+              static_cast<unsigned long long>(cpu_result->matches),
+              static_cast<unsigned long long>(cpu_result->checksum));
+  return 0;
+}

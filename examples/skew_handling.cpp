@@ -1,0 +1,55 @@
+// Skew handling (Section 5.4): PAD mode aborts with a partition overflow
+// on Zipf-skewed data; the runtime falls back to the two-pass HIST mode,
+// which handles any skew because partition sizes are known before writing.
+//
+//   ./build/examples/skew_handling [zipf_factor]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fpart.h"
+
+int main(int argc, char** argv) {
+  using namespace fpart;
+  double zipf = argc > 1 ? std::atof(argv[1]) : 0.75;
+
+  WorkloadSpec spec = GetWorkloadSpec(WorkloadId::kA, 2e6 / 128e6);
+  spec.zipf = zipf;
+  std::printf("workload A with Zipf(%.2f)-skewed S, |R| = |S| = %zu\n\n",
+              zipf, spec.num_r);
+  auto input = GenerateWorkload(spec);
+  if (!input.ok()) return 1;
+
+  HybridJoinConfig config;
+  config.fpga.fanout = 8192;
+  config.fpga.output_mode = OutputMode::kPad;
+  config.num_threads = BenchMaxThreads();
+
+  std::printf("attempt 1: PAD mode (single pass, fixed-size partitions)\n");
+  auto pad = HybridJoin(config, input->r, input->s);
+  if (pad.ok()) {
+    std::printf("  PAD succeeded: %.3fs partition + %.3fs build/probe "
+                "(skew was mild)\n",
+                pad->partition_seconds, pad->build_probe_seconds);
+    return 0;
+  }
+  std::printf("  PAD failed: %s\n", pad.status().ToString().c_str());
+  if (!pad.status().IsPartitionOverflow()) return 1;
+
+  std::printf("\nattempt 2: automatic HIST fallback "
+              "(HybridJoinWithFallback)\n");
+  bool fell_back = false;
+  auto result = HybridJoinWithFallback(config, input->r, input->s,
+                                       &fell_back);
+  if (!result.ok()) {
+    std::fprintf(stderr, "  %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  fell back to HIST: %s\n", fell_back ? "yes" : "no");
+  std::printf("  joined: %.3fs partition + %.3fs build/probe, %llu matches\n",
+              result->partition_seconds, result->build_probe_seconds,
+              static_cast<unsigned long long>(result->matches));
+  std::printf("\nHIST scans the data twice (histogram, then scatter with an "
+              "exact prefix sum),\nso it is slower than PAD but immune to "
+              "skew — exactly Figure 13's regime.\n");
+  return result->matches == input->s.size() ? 0 : 1;
+}

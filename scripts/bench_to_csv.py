@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Split a bench_output.txt produced by `for b in build/bench/*; do $b; done`
+into one CSV-ish .txt per experiment, for plotting.
+
+Usage:
+    python3 scripts/bench_to_csv.py bench_output.txt [outdir]
+
+Each `======== <name>` section is written to <outdir>/<name>.txt verbatim;
+table-looking lines (those containing '|' or runs of 2+ spaces between
+fields) are additionally normalized into <outdir>/<name>.csv with
+comma-separated fields.
+"""
+import os
+import re
+import sys
+
+
+def normalize_row(line: str):
+    """Split a printf-table row into fields; None if not table-like."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith(("===", "---", "(", "Expected")):
+        return None
+    if "|" in stripped:
+        cells = []
+        for part in stripped.split("|"):
+            cells.extend(re.split(r"\s{2,}", part.strip()))
+        cells = [c for c in cells if c]
+        return cells if len(cells) >= 2 else None
+    cells = re.split(r"\s{2,}", stripped)
+    return cells if len(cells) >= 3 else None
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    src = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(outdir, exist_ok=True)
+
+    sections = {}
+    name = "preamble"
+    for line in open(src, encoding="utf-8", errors="replace"):
+        m = re.match(r"^=+\s*(\S+)", line)
+        if m and line.startswith("========"):
+            name = m.group(1)
+            sections.setdefault(name, [])
+            continue
+        sections.setdefault(name, []).append(line)
+
+    written = 0
+    for name, lines in sections.items():
+        if name == "preamble" and not any(l.strip() for l in lines):
+            continue
+        with open(os.path.join(outdir, f"{name}.txt"), "w") as f:
+            f.writelines(lines)
+        rows = [r for r in (normalize_row(l) for l in lines) if r]
+        if rows:
+            width = max(len(r) for r in rows)
+            with open(os.path.join(outdir, f"{name}.csv"), "w") as f:
+                for r in rows:
+                    f.write(",".join(c.replace(",", ";") for c in r +
+                                     [""] * (width - len(r))) + "\n")
+        written += 1
+    print(f"wrote {written} sections to {outdir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

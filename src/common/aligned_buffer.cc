@@ -1,0 +1,35 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace fpart {
+
+Result<AlignedBuffer> AlignedBuffer::Allocate(size_t size, size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+    return Status::InvalidArgument("alignment must be a power of two");
+  }
+  AlignedBuffer buf;
+  if (size == 0) return buf;
+  // Round the size up to a multiple of the alignment, as required by
+  // std::aligned_alloc and convenient for whole-cache-line transfers.
+  size_t alloc_size = (size + alignment - 1) & ~(alignment - 1);
+  void* p = std::aligned_alloc(alignment, alloc_size);
+  if (p == nullptr) {
+    return Status::CapacityError("failed to allocate " +
+                                 std::to_string(alloc_size) + " bytes");
+  }
+  std::memset(p, 0, alloc_size);
+  buf.data_ = static_cast<uint8_t*>(p);
+  buf.size_ = size;
+  return buf;
+}
+
+void AlignedBuffer::Free() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace fpart

@@ -1,0 +1,43 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace fpart {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || parsed <= 0.0) return def;
+  return parsed;
+}
+
+size_t EnvSizeT(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<size_t>(parsed);
+}
+
+double BenchScale() {
+  double s = EnvDouble("FPART_SCALE", 1.0);
+  return std::clamp(s, 1.0 / 64.0, 64.0);
+}
+
+size_t BenchMaxThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // The paper's CPU is a 10-core Xeon E5-2680 v2; its thread sweeps stop
+  // at 10 threads, so we default to the same cap.
+  size_t def = std::min<size_t>(hw, 10);
+  size_t v = EnvSizeT("FPART_THREADS", def);
+  return std::max<size_t>(1, std::min(v, hw));
+}
+
+}  // namespace fpart

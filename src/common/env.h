@@ -1,0 +1,24 @@
+// Environment-variable driven configuration for benchmarks and examples.
+#pragma once
+
+#include <cstddef>
+
+namespace fpart {
+
+/// Scale factor applied to paper-size workloads by the bench binaries.
+/// FPART_SCALE=8 reproduces the paper's full 128e6-tuple relations;
+/// the default (1) runs each experiment at 1/8 size so the whole harness
+/// finishes in minutes. Values are clamped to [1/64, 64].
+double BenchScale();
+
+/// Maximum CPU threads used by the benches (FPART_THREADS). Defaults to
+/// min(hardware_concurrency, 10) to mirror the paper's 10-core Xeon.
+size_t BenchMaxThreads();
+
+/// Parse a positive double from an env var, or return `def`.
+double EnvDouble(const char* name, double def);
+
+/// Parse a non-negative integer from an env var, or return `def`.
+size_t EnvSizeT(const char* name, size_t def);
+
+}  // namespace fpart

@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+namespace fpart {
+namespace {
+
+const std::string& EmptyString() {
+  static const std::string empty;
+  return empty;
+}
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kCapacityError:
+      return "Capacity error";
+    case StatusCode::kPartitionOverflow:
+      return "Partition overflow";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = new State{code, std::move(msg)};
+  }
+}
+
+const std::string& Status::message() const {
+  return state_ ? state_->msg : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  if (!message().empty()) {
+    out += ": ";
+    out += message();
+  }
+  return out;
+}
+
+}  // namespace fpart

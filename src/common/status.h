@@ -1,0 +1,143 @@
+// Status / Result error model, following the Arrow/RocksDB idiom: fallible
+// operations return Status (or Result<T>), exceptions are not used on hot
+// paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+/// Machine-readable error category of a Status.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kCapacityError = 3,
+  /// PAD-mode partition overflow (Section 4.5): the operation must be
+  /// retried in HIST mode or fall back to the CPU partitioner.
+  kPartitionOverflow = 4,
+  kNotImplemented = 5,
+  kIOError = 6,
+  kInternal = 7,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy in the OK case (single pointer).
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityError(std::string msg) {
+    return Status(StatusCode::kCapacityError, std::move(msg));
+  }
+  static Status PartitionOverflow(std::string msg) {
+    return Status(StatusCode::kPartitionOverflow, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsPartitionOverflow() const {
+    return code() == StatusCode::kPartitionOverflow;
+  }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  /// Human-readable "<code>: <message>" rendering ("OK" for success).
+  std::string ToString() const;
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+  ~Status() { delete state_; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  State* state_ = nullptr;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Use FPART_ASSIGN_OR_RETURN to unwrap.
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Construct from an error status. Aborts if the status is OK, since an
+  /// OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Move the value out, or return `alternative` if this holds an error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,53 @@
+// A small fixed-size thread pool used by the parallel CPU partitioner and
+// the parallel build+probe phase of the radix join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+/// \brief Fixed-size pool of worker threads executing submitted closures.
+///
+/// Designed for the fork/join pattern of the partitioned join: submit one
+/// task per morsel, then WaitIdle() as the barrier between phases.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  FPART_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueue a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Run `fn(worker_index)` on `n` logical workers in parallel and wait.
+  /// When n == 1 the call runs inline on the caller (matching the paper's
+  /// single-threaded measurements, which do not pay thread hand-off costs).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fpart

@@ -1,0 +1,123 @@
+#include "compress/for_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fpart {
+namespace {
+
+int BitsFor(uint32_t max_delta) {
+  // Guard the shift: x >> 32 is undefined for uint32_t (and a no-op on
+  // x86, which would loop forever on full-range deltas).
+  int bits = 0;
+  while (bits < 32 && (max_delta >> bits) != 0) ++bits;
+  return bits;
+}
+
+/// Largest prefix of keys[0..limit) that fits one frame, with its
+/// base/bits. Greedy: extend while count × bits(count) still fits.
+struct FramePlan {
+  int count;
+  uint32_t base;
+  int bits;
+};
+
+FramePlan PlanFrame(const uint32_t* keys, size_t remaining) {
+  const int limit =
+      static_cast<int>(std::min<size_t>(remaining, kMaxKeysPerFrame));
+  uint32_t lo = keys[0], hi = keys[0];
+  FramePlan best{1, keys[0], 0};
+  for (int count = 1; count <= limit; ++count) {
+    lo = std::min(lo, keys[count - 1]);
+    hi = std::max(hi, keys[count - 1]);
+    int bits = BitsFor(hi - lo);
+    if (count * bits <= kFramePayloadBits) {
+      best = FramePlan{count, lo, bits};
+    } else if (bits >= 32) {
+      break;  // wider prefixes can only need more bits
+    }
+  }
+  return best;
+}
+
+void PackBits(uint8_t* payload, int index, int bits, uint32_t value) {
+  int bit_pos = index * bits;
+  for (int b = 0; b < bits; ++b, ++bit_pos) {
+    if (value & (1u << b)) {
+      payload[bit_pos >> 3] |= static_cast<uint8_t>(1u << (bit_pos & 7));
+    }
+  }
+}
+
+uint32_t UnpackBits(const uint8_t* payload, int index, int bits) {
+  uint32_t value = 0;
+  int bit_pos = index * bits;
+  for (int b = 0; b < bits; ++b, ++bit_pos) {
+    if (payload[bit_pos >> 3] & (1u << (bit_pos & 7))) {
+      value |= 1u << b;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<CompressedColumn> CompressedColumn::Compress(const uint32_t* keys,
+                                                    size_t n) {
+  CompressedColumn column;
+  column.num_keys_ = n;
+  if (n == 0) return column;
+
+  // Two passes: plan the frames, then allocate exactly and fill.
+  std::vector<FramePlan> plans;
+  size_t pos = 0;
+  while (pos < n) {
+    FramePlan plan = PlanFrame(keys + pos, n - pos);
+    plans.push_back(plan);
+    pos += plan.count;
+  }
+  FPART_ASSIGN_OR_RETURN(
+      column.buffer_,
+      AlignedBuffer::Allocate(plans.size() * kCacheLineSize));
+  column.frame_offsets_.reserve(plans.size());
+
+  pos = 0;
+  uint8_t* out = column.buffer_.data();
+  for (const FramePlan& plan : plans) {
+    column.frame_offsets_.push_back(pos);
+    std::memcpy(out, &plan.base, 4);
+    out[4] = static_cast<uint8_t>(plan.bits);
+    out[5] = static_cast<uint8_t>(plan.count);
+    for (int i = 0; i < plan.count; ++i) {
+      PackBits(out + 6, i, plan.bits, keys[pos + i] - plan.base);
+    }
+    pos += plan.count;
+    out += kCacheLineSize;
+  }
+  return column;
+}
+
+int CompressedColumn::DecodeFrame(size_t i, uint32_t* out) const {
+  const uint8_t* f = frame(i);
+  uint32_t base;
+  std::memcpy(&base, f, 4);
+  const int bits = f[4];
+  const int count = f[5];
+  for (int k = 0; k < count; ++k) {
+    out[k] = base + UnpackBits(f + 6, k, bits);
+  }
+  return count;
+}
+
+std::vector<uint32_t> CompressedColumn::DecompressAll() const {
+  std::vector<uint32_t> keys;
+  keys.reserve(num_keys_);
+  uint32_t scratch[kMaxKeysPerFrame];
+  for (size_t i = 0; i < num_frames(); ++i) {
+    int count = DecodeFrame(i, scratch);
+    keys.insert(keys.end(), scratch, scratch + count);
+  }
+  return keys;
+}
+
+}  // namespace fpart

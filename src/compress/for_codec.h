@@ -1,0 +1,70 @@
+// Frame-of-reference (FOR) bit-packed compression of 32-bit key columns.
+//
+// Section 6 of the paper: "when processing compressed columns (a de facto
+// standard for analytical workloads), decompression ... can be done for
+// free on the FPGA as the first step of a processing pipeline". This codec
+// provides the compressed representation for that pipeline: fixed 64 B
+// frames (one QPI cache line each) holding a base value plus bit-packed
+// deltas, decodable by a fixed-function circuit at one frame per cycle.
+//
+// Frame layout (64 bytes):
+//   [0..3]   uint32 base      — minimum key of the frame
+//   [4]      uint8  bits      — delta width in bits (0..32)
+//   [5]      uint8  count     — keys in this frame (1..kMaxKeysPerFrame)
+//   [6..63]  packed little-endian deltas, count × bits bits
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+
+namespace fpart {
+
+/// Payload capacity of a frame in bits.
+inline constexpr int kFramePayloadBits = 58 * 8;
+/// Upper bound on keys per frame (bits == 0, all keys equal the base).
+inline constexpr int kMaxKeysPerFrame = 120;
+
+/// \brief A compressed key column: contiguous 64 B frames plus metadata.
+class CompressedColumn {
+ public:
+  CompressedColumn() = default;
+
+  size_t num_frames() const { return frame_offsets_.size(); }
+  size_t num_keys() const { return num_keys_; }
+  const uint8_t* frame(size_t i) const {
+    return buffer_.data() + i * kCacheLineSize;
+  }
+  /// Index of the first key stored in frame i.
+  uint64_t frame_offset(size_t i) const { return frame_offsets_[i]; }
+
+  /// Compression ratio: uncompressed key bytes / compressed bytes.
+  double ratio() const {
+    return num_frames() == 0
+               ? 1.0
+               : static_cast<double>(num_keys_ * sizeof(uint32_t)) /
+                     (num_frames() * kCacheLineSize);
+  }
+
+  /// Compress a key column. Greedy: each frame takes the longest prefix of
+  /// the remaining keys whose deltas (to the frame minimum) still fit.
+  static Result<CompressedColumn> Compress(const uint32_t* keys, size_t n);
+
+  /// Decode frame i into `out` (capacity >= kMaxKeysPerFrame); returns the
+  /// number of keys produced. This is the software model of the FPGA's
+  /// unpack circuit.
+  int DecodeFrame(size_t i, uint32_t* out) const;
+
+  /// Decode the whole column (CPU baseline path).
+  std::vector<uint32_t> DecompressAll() const;
+
+ private:
+  AlignedBuffer buffer_;
+  std::vector<uint64_t> frame_offsets_;
+  size_t num_keys_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,11 @@
+#include "core/engine.h"
+
+namespace fpart {
+
+const char* EngineName(Engine engine) {
+  return engine == Engine::kCpu ? "cpu" : "fpga-sim";
+}
+
+std::string Version() { return "fpart 1.0.0 (SIGMOD'17 reproduction)"; }
+
+}  // namespace fpart

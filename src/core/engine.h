@@ -1,0 +1,105 @@
+// Unified partitioning entry point: one request type dispatching to the
+// CPU baseline or the simulated FPGA circuit. This is the API the examples
+// and benches use; the lower-level modules remain available for callers
+// that need circuit-level control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cpu/partitioner.h"
+#include "datagen/partitioned_output.h"
+#include "datagen/relation.h"
+#include "fpga/config.h"
+#include "fpga/partitioner.h"
+
+namespace fpart {
+
+/// Which device executes the partitioning.
+enum class Engine {
+  /// Host CPU, Balkesen-style software write-combining partitioner.
+  kCpu,
+  /// Cycle-level simulation of the paper's FPGA circuit.
+  kFpgaSim,
+};
+
+const char* EngineName(Engine engine);
+
+/// \brief Device-independent partitioning request.
+struct PartitionRequest {
+  Engine engine = Engine::kFpgaSim;
+  uint32_t fanout = 8192;
+  HashMethod hash = HashMethod::kMurmur;
+  /// kRange only: fanout-1 sorted splitters (see EquiDepthSplitters).
+  std::vector<uint64_t> range_splitters;
+  /// FPGA only (the CPU baseline always builds a histogram — it needs it
+  /// for synchronization-free parallel scatter, Section 4.7).
+  OutputMode output_mode = OutputMode::kPad;
+  LayoutMode layout = LayoutMode::kRid;
+  LinkKind link = LinkKind::kXeonFpga;
+  double pad_fraction = 0.5;
+  /// CPU only.
+  size_t num_threads = 1;
+  bool use_buffers = true;
+  bool non_temporal = true;
+};
+
+/// \brief Device-independent partitioning outcome.
+template <typename T>
+struct PartitionReport {
+  PartitionedOutput<T> output;
+  /// CPU: measured wall time; FPGA: simulated circuit time.
+  double seconds = 0.0;
+  double mtuples_per_sec = 0.0;
+  Engine engine = Engine::kCpu;
+  /// FPGA only: cycle-level counters.
+  CycleStats stats;
+};
+
+/// Partition a row-store relation with the requested engine.
+template <typename T>
+Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
+                                        const Relation<T>& relation) {
+  PartitionReport<T> report;
+  report.engine = request.engine;
+  if (request.engine == Engine::kCpu) {
+    CpuPartitionerConfig config;
+    config.fanout = request.fanout;
+    config.hash = request.hash;
+    config.range_splitters = request.range_splitters;
+    config.num_threads = request.num_threads;
+    config.use_buffers = request.use_buffers;
+    config.non_temporal = request.non_temporal;
+    FPART_ASSIGN_OR_RETURN(
+        CpuRunResult<T> r,
+        CpuPartition(config, relation.data(), relation.size()));
+    report.output = std::move(r.output);
+    report.seconds = r.seconds;
+    report.mtuples_per_sec = r.mtuples_per_sec;
+    return report;
+  }
+  FpgaPartitionerConfig config;
+  config.fanout = request.fanout;
+  config.hash = request.hash;
+  config.range_splitters = request.range_splitters;
+  config.output_mode = request.output_mode;
+  config.layout = LayoutMode::kRid;
+  config.link = request.link;
+  config.pad_fraction = request.pad_fraction;
+  FpgaPartitioner<T> partitioner(config);
+  FPART_ASSIGN_OR_RETURN(FpgaRunResult<T> r,
+                         partitioner.Partition(relation.data(),
+                                               relation.size()));
+  report.output = std::move(r.output);
+  report.seconds = r.seconds;
+  report.mtuples_per_sec = r.mtuples_per_sec;
+  report.stats = r.stats;
+  return report;
+}
+
+/// Library version string.
+std::string Version();
+
+}  // namespace fpart

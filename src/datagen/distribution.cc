@@ -1,0 +1,84 @@
+#include "datagen/distribution.h"
+
+namespace fpart {
+
+const char* KeyDistributionName(KeyDistribution dist) {
+  switch (dist) {
+    case KeyDistribution::kLinear:
+      return "linear";
+    case KeyDistribution::kRandom:
+      return "random";
+    case KeyDistribution::kGrid:
+      return "grid";
+    case KeyDistribution::kReverseGrid:
+      return "rev-grid";
+  }
+  return "unknown";
+}
+
+KeyGenerator::KeyGenerator(KeyDistribution dist, uint64_t seed)
+    : dist_(dist), rng_(seed) {}
+
+uint32_t KeyGenerator::Next() {
+  switch (dist_) {
+    case KeyDistribution::kLinear:
+      return static_cast<uint32_t>(++index_);
+    case KeyDistribution::kRandom:
+      return rng_.Next32();
+    case KeyDistribution::kGrid:
+      return NextGrid();
+    case KeyDistribution::kReverseGrid:
+      return NextReverseGrid();
+  }
+  return 0;
+}
+
+void KeyGenerator::Fill(uint32_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = Next();
+}
+
+namespace {
+
+uint32_t PackDigits(const uint8_t d[4]) {
+  // digits_[0] is the least significant byte.
+  return static_cast<uint32_t>(d[0]) | (static_cast<uint32_t>(d[1]) << 8) |
+         (static_cast<uint32_t>(d[2]) << 16) |
+         (static_cast<uint32_t>(d[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t KeyGenerator::NextGrid() {
+  if (first_) {
+    first_ = false;
+    return PackDigits(digits_);
+  }
+  // Increment the least significant digit; on reaching 128 reset to 1 and
+  // carry into the next digit (Section 3.2).
+  for (int i = 0; i < 4; ++i) {
+    if (digits_[i] < 128) {
+      ++digits_[i];
+      break;
+    }
+    digits_[i] = 1;
+  }
+  return PackDigits(digits_);
+}
+
+uint32_t KeyGenerator::NextReverseGrid() {
+  if (first_) {
+    first_ = false;
+    return PackDigits(digits_);
+  }
+  // Same enumeration, but the most significant byte is incremented first.
+  for (int i = 3; i >= 0; --i) {
+    if (digits_[i] < 128) {
+      ++digits_[i];
+      break;
+    }
+    digits_[i] = 1;
+  }
+  return PackDigits(digits_);
+}
+
+}  // namespace fpart

@@ -1,0 +1,63 @@
+// The four key distributions of Section 3.2 (following Richter et al. [29]):
+// Linear, Random, Grid and Reverse Grid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fpart {
+
+/// Key distribution for generating the build-relation key universe.
+enum class KeyDistribution {
+  /// Unique keys in [1, N].
+  kLinear,
+  /// Pseudo-random keys over the full 32-bit range (may repeat).
+  kRandom,
+  /// Base-128 counter, each byte in [1,128], least significant byte first.
+  kGrid,
+  /// Same as kGrid but incrementing starts at the most significant byte.
+  kReverseGrid,
+};
+
+const char* KeyDistributionName(KeyDistribution dist);
+
+/// \brief Streaming generator of 32-bit keys for one distribution.
+///
+/// Deterministic given (distribution, seed); the i-th key produced is a
+/// pure function of i for the enumerated distributions.
+class KeyGenerator {
+ public:
+  KeyGenerator(KeyDistribution dist, uint64_t seed = 1);
+
+  /// Produce the next key in the sequence.
+  uint32_t Next();
+
+  /// Fill `out[0..n)` with the next n keys.
+  void Fill(uint32_t* out, size_t n);
+
+ private:
+  uint32_t NextGrid();
+  uint32_t NextReverseGrid();
+
+  KeyDistribution dist_;
+  Rng rng_;
+  uint64_t index_ = 0;
+  // Grid state: four base-128 digits, values 1..128.
+  uint8_t digits_[4] = {1, 1, 1, 1};
+  bool first_ = true;
+};
+
+/// Fisher–Yates shuffle with the deterministic fpart RNG.
+template <typename T>
+void Shuffle(T* data, size_t n, Rng* rng) {
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng->Below(i);
+    std::swap(data[i - 1], data[j]);
+  }
+}
+
+}  // namespace fpart

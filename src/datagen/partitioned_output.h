@@ -1,0 +1,96 @@
+// Storage for a partitioned relation, shared by the CPU and FPGA
+// partitioners.
+//
+// Partitions are stored back to back in one cache-line aligned buffer at
+// cache-line granularity. Because the FPGA's write combiner flushes
+// partially filled cache lines padded with dummy keys (Section 4.2), a
+// partition's storage extent can be larger than its tuple count; consumers
+// skip tuples with the dummy key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "datagen/tuple.h"
+
+namespace fpart {
+
+/// \brief Placement and fill metadata of one partition.
+struct PartitionInfo {
+  /// First cache line of this partition within the output buffer.
+  uint64_t base_cl = 0;
+  /// Cache lines reserved for this partition.
+  uint32_t capacity_cls = 0;
+  /// Cache lines actually written.
+  uint32_t written_cls = 0;
+  /// Real (non-dummy) tuples in this partition.
+  uint64_t num_tuples = 0;
+};
+
+/// \brief A partitioned relation: contiguous cache-line-granular partitions
+/// plus per-partition metadata.
+template <typename T>
+class PartitionedOutput {
+ public:
+  PartitionedOutput() = default;
+
+  /// Allocate storage given per-partition capacities (in cache lines).
+  static Result<PartitionedOutput<T>> Allocate(
+      const std::vector<uint32_t>& capacity_cls) {
+    PartitionedOutput<T> out;
+    out.parts_.resize(capacity_cls.size());
+    uint64_t total_cls = 0;
+    for (size_t p = 0; p < capacity_cls.size(); ++p) {
+      out.parts_[p].base_cl = total_cls;
+      out.parts_[p].capacity_cls = capacity_cls[p];
+      total_cls += capacity_cls[p];
+    }
+    FPART_ASSIGN_OR_RETURN(out.buffer_,
+                           AlignedBuffer::Allocate(total_cls * kCacheLineSize));
+    out.total_cls_ = total_cls;
+    return out;
+  }
+
+  size_t num_partitions() const { return parts_.size(); }
+  uint64_t total_cls() const { return total_cls_; }
+
+  PartitionInfo& part(size_t p) { return parts_[p]; }
+  const PartitionInfo& part(size_t p) const { return parts_[p]; }
+
+  uint8_t* line(uint64_t cl) { return buffer_.data() + cl * kCacheLineSize; }
+  const uint8_t* line(uint64_t cl) const {
+    return buffer_.data() + cl * kCacheLineSize;
+  }
+
+  /// Tuples of partition p, *including* any dummy padding; use
+  /// PartitionInfo::num_tuples / IsDummy() to skip padding.
+  const T* partition_data(size_t p) const {
+    return reinterpret_cast<const T*>(line(parts_[p].base_cl));
+  }
+  T* partition_data(size_t p) {
+    return reinterpret_cast<T*>(line(parts_[p].base_cl));
+  }
+
+  /// Stored tuple slots of partition p (== written cache lines × K).
+  size_t partition_slots(size_t p) const {
+    return static_cast<size_t>(parts_[p].written_cls) *
+           TupleTraits<T>::kTuplesPerCacheLine;
+  }
+
+  /// Sum of real tuples across all partitions.
+  uint64_t total_tuples() const {
+    uint64_t n = 0;
+    for (const auto& part : parts_) n += part.num_tuples;
+    return n;
+  }
+
+ private:
+  AlignedBuffer buffer_;
+  std::vector<PartitionInfo> parts_;
+  uint64_t total_cls_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,81 @@
+// Relation storage: cache-line aligned arrays of tuples (row store / RID
+// layout) and split key/payload arrays (column store / VRID layout,
+// Section 4.5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_buffer.h"
+#include "common/status.h"
+#include "datagen/tuple.h"
+
+namespace fpart {
+
+/// \brief A row-store relation: contiguous, cache-line aligned tuples.
+template <typename T>
+class Relation {
+ public:
+  Relation() = default;
+
+  static Result<Relation<T>> Allocate(size_t num_tuples) {
+    Relation<T> rel;
+    FPART_ASSIGN_OR_RETURN(rel.buffer_,
+                           AlignedBuffer::Allocate(num_tuples * sizeof(T)));
+    rel.size_ = num_tuples;
+    return rel;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t size_bytes() const { return size_ * sizeof(T); }
+
+  T* data() { return buffer_.template mutable_data_as<T>(); }
+  const T* data() const { return buffer_.template data_as<T>(); }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  AlignedBuffer buffer_;
+  size_t size_ = 0;
+};
+
+/// \brief A column-store relation: keys and payloads in separate arrays,
+/// associated only by position. This is the input layout of the VRID mode.
+template <typename KeyT, typename PayloadT = KeyT>
+class ColumnRelation {
+ public:
+  ColumnRelation() = default;
+
+  static Result<ColumnRelation> Allocate(size_t num_tuples) {
+    ColumnRelation rel;
+    FPART_ASSIGN_OR_RETURN(rel.keys_,
+                           AlignedBuffer::Allocate(num_tuples * sizeof(KeyT)));
+    FPART_ASSIGN_OR_RETURN(
+        rel.payloads_, AlignedBuffer::Allocate(num_tuples * sizeof(PayloadT)));
+    rel.size_ = num_tuples;
+    return rel;
+  }
+
+  size_t size() const { return size_; }
+
+  KeyT* keys() { return keys_.template mutable_data_as<KeyT>(); }
+  const KeyT* keys() const { return keys_.template data_as<KeyT>(); }
+  PayloadT* payloads() { return payloads_.template mutable_data_as<PayloadT>(); }
+  const PayloadT* payloads() const {
+    return payloads_.template data_as<PayloadT>();
+  }
+
+ private:
+  AlignedBuffer keys_;
+  AlignedBuffer payloads_;
+  size_t size_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,103 @@
+// Tuple layouts supported by the partitioner (Section 4.4): 8, 16, 32 and
+// 64 byte tuples, each <key, payload>. A 64 B cache line therefore holds
+// 8, 4, 2 or 1 tuples respectively.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+/// The paper's default tuple: <4 B key, 4 B payload> (Section 4, [4,31]).
+struct Tuple8 {
+  uint32_t key;
+  uint32_t payload;
+
+  bool operator==(const Tuple8&) const = default;
+};
+static_assert(sizeof(Tuple8) == 8);
+
+/// 16 B tuple: <8 B key, 8 B payload>.
+struct Tuple16 {
+  uint64_t key;
+  uint64_t payload;
+
+  bool operator==(const Tuple16&) const = default;
+};
+static_assert(sizeof(Tuple16) == 16);
+
+/// 32 B tuple: <8 B key, 24 B payload>.
+struct Tuple32 {
+  uint64_t key;
+  uint64_t payload[3];
+
+  bool operator==(const Tuple32&) const = default;
+};
+static_assert(sizeof(Tuple32) == 32);
+
+/// 64 B tuple: <8 B key, 56 B payload> — exactly one cache line.
+struct Tuple64 {
+  uint64_t key;
+  uint64_t payload[7];
+
+  bool operator==(const Tuple64&) const = default;
+};
+static_assert(sizeof(Tuple64) == 64);
+
+/// Compile-time helpers shared by the partitioners and the circuit model.
+template <typename T>
+struct TupleTraits {
+  static constexpr int kWidth = sizeof(T);
+  static constexpr int kTuplesPerCacheLine = kCacheLineSize / kWidth;
+  static_assert(kCacheLineSize % kWidth == 0,
+                "tuple width must divide the cache-line size");
+
+  static uint64_t Key(const T& t) { return t.key; }
+  static void SetKey(T* t, uint64_t key) {
+    t->key = static_cast<decltype(t->key)>(key);
+  }
+};
+
+/// Sentinel key used to pad partially-filled cache lines when the write
+/// combiner flushes (Section 4.2). Downstream operators skip tuples whose
+/// key equals the sentinel.
+inline constexpr uint64_t kDummyKey = ~uint64_t{0};
+
+template <typename T>
+T MakeDummyTuple() {
+  T t{};
+  TupleTraits<T>::SetKey(&t, kDummyKey);
+  return t;
+}
+
+template <typename T>
+bool IsDummy(const T& t) {
+  // Compare in the tuple's native key width: a 4 B key stores the low 32
+  // bits of the sentinel.
+  return t.key == static_cast<decltype(t.key)>(kDummyKey);
+}
+
+/// Store an identifier (e.g. the virtual record id of VRID mode) in a
+/// tuple's payload, regardless of the payload's shape.
+template <typename T>
+void SetPayloadId(T* t, uint64_t id) {
+  if constexpr (std::is_array_v<decltype(T::payload)>) {
+    t->payload[0] = id;
+  } else {
+    t->payload = static_cast<decltype(t->payload)>(id);
+  }
+}
+
+/// Read back an identifier stored with SetPayloadId.
+template <typename T>
+uint64_t GetPayloadId(const T& t) {
+  if constexpr (std::is_array_v<decltype(T::payload)>) {
+    return t.payload[0];
+  } else {
+    return t.payload;
+  }
+}
+
+}  // namespace fpart

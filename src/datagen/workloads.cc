@@ -1,0 +1,116 @@
+#include "datagen/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/zipf.h"
+#include "hash/murmur.h"
+
+namespace fpart {
+
+WorkloadSpec GetWorkloadSpec(WorkloadId id, double scale) {
+  auto scaled = [scale](double n) {
+    return static_cast<size_t>(std::llround(n * scale));
+  };
+  switch (id) {
+    case WorkloadId::kA:
+      return {id, "A", scaled(128e6), scaled(128e6), KeyDistribution::kLinear};
+    case WorkloadId::kB:
+      return {id, "B", scaled(16.0 * (1 << 20)), scaled(256.0 * (1 << 20)),
+              KeyDistribution::kLinear};
+    case WorkloadId::kC:
+      return {id, "C", scaled(128e6), scaled(128e6), KeyDistribution::kRandom};
+    case WorkloadId::kD:
+      return {id, "D", scaled(128e6), scaled(128e6), KeyDistribution::kGrid};
+    case WorkloadId::kE:
+      return {id, "E", scaled(128e6), scaled(128e6),
+              KeyDistribution::kReverseGrid};
+  }
+  return {id, "?", 0, 0, KeyDistribution::kLinear};
+}
+
+uint32_t Feistel32(uint32_t x, uint64_t seed) {
+  uint16_t left = static_cast<uint16_t>(x >> 16);
+  uint16_t right = static_cast<uint16_t>(x);
+  for (int round = 0; round < 4; ++round) {
+    uint32_t f = Murmur32(static_cast<uint32_t>(right) ^
+                          static_cast<uint32_t>(seed >> (16 * (round & 3))) ^
+                          (0x9e37u * round));
+    uint16_t next_right = static_cast<uint16_t>(left ^ (f & 0xffff));
+    left = right;
+    right = next_right;
+  }
+  return (static_cast<uint32_t>(left) << 16) | right;
+}
+
+Result<Relation<Tuple8>> GenerateUniqueRelation(size_t n, KeyDistribution dist,
+                                                uint64_t seed) {
+  FPART_ASSIGN_OR_RETURN(Relation<Tuple8> rel, Relation<Tuple8>::Allocate(n));
+  Tuple8* data = rel.data();
+  if (dist == KeyDistribution::kRandom) {
+    // A Feistel bijection of [0, 2^32) keeps keys unique while looking
+    // uniform over the full 32-bit range.
+    for (size_t i = 0; i < n; ++i) {
+      data[i].key = Feistel32(static_cast<uint32_t>(i + 1), seed);
+      data[i].payload = static_cast<uint32_t>(i);
+    }
+    return rel;
+  }
+  // The enumerated distributions produce unique keys by construction.
+  KeyGenerator gen(dist, seed);
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = gen.Next();
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+  if (dist == KeyDistribution::kLinear) {
+    // The paper's linear relations are key-unique but not sorted in memory;
+    // shuffle so that partitioning actually scatters.
+    Rng rng(seed ^ 0xabcdef);
+    Shuffle(data, n, &rng);
+  }
+  return rel;
+}
+
+Result<Relation<Tuple8>> GenerateRawRelation(size_t n, KeyDistribution dist,
+                                             uint64_t seed) {
+  FPART_ASSIGN_OR_RETURN(Relation<Tuple8> rel, Relation<Tuple8>::Allocate(n));
+  KeyGenerator gen(dist, seed);
+  Tuple8* data = rel.data();
+  for (size_t i = 0; i < n; ++i) {
+    data[i].key = gen.Next();
+    data[i].payload = static_cast<uint32_t>(i);
+  }
+  return rel;
+}
+
+Result<JoinInput> GenerateWorkload(const WorkloadSpec& spec, uint64_t seed) {
+  if (spec.num_r == 0 || spec.num_s == 0) {
+    return Status::InvalidArgument("workload relations must be non-empty");
+  }
+  JoinInput input;
+  input.spec = spec;
+  FPART_ASSIGN_OR_RETURN(input.r,
+                         GenerateUniqueRelation(spec.num_r, spec.dist, seed));
+  FPART_ASSIGN_OR_RETURN(input.s, Relation<Tuple8>::Allocate(spec.num_s));
+
+  const Tuple8* r = input.r.data();
+  Tuple8* s = input.s.data();
+  Rng rng(seed ^ 0x5eed5);
+  if (spec.zipf > 0.0) {
+    // Figure 13: S draws R ranks following Zipf(z). Rank-to-tuple mapping is
+    // randomized by R's own layout, so hot keys land in arbitrary partitions.
+    ZipfSampler zipf(spec.num_r, spec.zipf, seed ^ 0x21bf);
+    for (size_t i = 0; i < spec.num_s; ++i) {
+      s[i].key = r[zipf.Next() - 1].key;
+      s[i].payload = s[i].key;
+    }
+  } else {
+    for (size_t i = 0; i < spec.num_s; ++i) {
+      s[i].key = r[rng.Below(spec.num_r)].key;
+      s[i].payload = s[i].key;
+    }
+  }
+  return input;
+}
+
+}  // namespace fpart

@@ -1,0 +1,64 @@
+// The join workloads of Table 4 (Section 5) and the relation generators
+// behind them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "datagen/distribution.h"
+#include "datagen/relation.h"
+#include "datagen/tuple.h"
+
+namespace fpart {
+
+/// Identifier of a Table 4 workload.
+enum class WorkloadId { kA, kB, kC, kD, kE };
+
+/// \brief One row of Table 4: relation sizes, key distribution, skew.
+struct WorkloadSpec {
+  WorkloadId id;
+  const char* name;
+  size_t num_r;  ///< #Tuples in the build relation R
+  size_t num_s;  ///< #Tuples in the probe relation S
+  KeyDistribution dist;
+  /// Zipf factor applied to S's foreign-key draws (0 = uniform). The base
+  /// Table 4 workloads are unskewed; Figure 13 sets this on workload A.
+  double zipf = 0.0;
+};
+
+/// The Table 4 workload, at scale 1.0 == the paper's sizes
+/// (A: 128e6 ⋈ 128e6 linear; B: 16·2^20 ⋈ 256·2^20 linear;
+///  C/D/E: 128e6 ⋈ 128e6 random/grid/reverse-grid).
+WorkloadSpec GetWorkloadSpec(WorkloadId id, double scale = 1.0);
+
+/// \brief A generated equi-join input: R with unique keys, S whose keys all
+/// reference R (so the expected match count is exactly |S|).
+struct JoinInput {
+  Relation<Tuple8> r;
+  Relation<Tuple8> s;
+  WorkloadSpec spec;
+};
+
+/// Generate a Table 4 workload. Deterministic given (spec, seed).
+///
+/// R payloads hold the tuple's original index; S payloads hold the key again
+/// so that join results are verifiable (match payload invariant).
+Result<JoinInput> GenerateWorkload(const WorkloadSpec& spec, uint64_t seed = 7);
+
+/// Generate a relation of `n` tuples with *unique* keys drawn from `dist`.
+/// For kRandom, uniqueness is obtained with a 32-bit Feistel bijection of
+/// the index space, which preserves the full-range uniform character.
+Result<Relation<Tuple8>> GenerateUniqueRelation(size_t n, KeyDistribution dist,
+                                                uint64_t seed = 7);
+
+/// Generate a relation of `n` (possibly repeating) keys from `dist`, for the
+/// partitioning-only experiments (Figures 3 and 4).
+Result<Relation<Tuple8>> GenerateRawRelation(size_t n, KeyDistribution dist,
+                                             uint64_t seed = 7);
+
+/// Random 32-bit bijection (4-round Feistel over 16-bit halves). Used to
+/// produce unique-but-uniform key universes.
+uint32_t Feistel32(uint32_t x, uint64_t seed);
+
+}  // namespace fpart

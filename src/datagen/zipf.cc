@@ -1,0 +1,43 @@
+#include "datagen/zipf.h"
+
+#include <cmath>
+
+namespace fpart {
+
+ZipfSampler::ZipfSampler(uint64_t n, double z, uint64_t seed)
+    : n_(n == 0 ? 1 : n), z_(z), rng_(seed) {
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - Hinv(H(2.5) - std::pow(2.0, -z_));
+}
+
+// H is the antiderivative of x^-z (the continuous majorant of the Zipf pmf).
+double ZipfSampler::H(double x) const {
+  if (z_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - z_) - 1.0) / (1.0 - z_);
+}
+
+double ZipfSampler::Hinv(double x) const {
+  if (z_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - z_), 1.0 / (1.0 - z_));
+}
+
+uint64_t ZipfSampler::Next() {
+  if (z_ <= 0.0) {
+    // Uniform: rejection-inversion is undefined at z == 0; sample directly.
+    return 1 + rng_.Below(n_);
+  }
+  for (;;) {
+    double u = h_n_ + rng_.NextDouble() * (h_x1_ - h_n_);
+    double x = Hinv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -z_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace fpart

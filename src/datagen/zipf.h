@@ -1,0 +1,44 @@
+// Zipf-distributed sampling for the skew experiment (Section 5.4,
+// Figure 13): relation S draws its foreign keys from R's key universe
+// following a Zipf law with configurable factor z.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace fpart {
+
+/// \brief O(1)-per-sample Zipf(z) generator over ranks [1, n].
+///
+/// Uses Hörmann's rejection-inversion method ("Rejection-inversion to
+/// generate variates from monotone discrete distributions", 1996), which
+/// needs no O(n) table and therefore scales to the paper's 128e6-tuple
+/// universes.
+class ZipfSampler {
+ public:
+  /// \param n       number of distinct ranks
+  /// \param z       Zipf exponent (z == 0 degenerates to uniform)
+  /// \param seed    RNG seed
+  ZipfSampler(uint64_t n, double z, uint64_t seed = 42);
+
+  /// Draw one rank in [1, n]; rank 1 is the most frequent.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  double H(double x) const;
+  double Hinv(double x) const;
+
+  uint64_t n_;
+  double z_;
+  Rng rng_;
+  // Precomputed constants of the rejection-inversion scheme.
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+// Network model for the distributed-join future-work use case (Section 6:
+// "have the FPGA partitioner directly connected to the network to
+// distribute the data across machines using RDMA", Barthels et al. [6,7]).
+//
+// Models a full-duplex RDMA fabric: every node has an injection and a
+// reception link of fixed bandwidth; an all-to-all shuffle completes when
+// the most loaded link finishes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fpart {
+
+/// \brief Per-node full-duplex link fabric.
+struct NetworkModel {
+  /// Per-direction link bandwidth. Default: FDR InfiniBand, the fabric of
+  /// the rack-scale join study [6].
+  double link_gbs = 6.8;
+  /// Fixed per-message latency (rendezvous setup etc.).
+  double message_latency_sec = 3e-6;
+
+  /// Time for an all-to-all shuffle where `bytes_out[i][j]` flows from
+  /// node i to node j (bytes to self are free — local memory).
+  double ShuffleSeconds(
+      const std::vector<std::vector<uint64_t>>& bytes_out) const {
+    const size_t nodes = bytes_out.size();
+    double worst = 0.0;
+    for (size_t i = 0; i < nodes; ++i) {
+      uint64_t injected = 0, received = 0;
+      for (size_t j = 0; j < nodes; ++j) {
+        if (i != j) injected += bytes_out[i][j];
+        if (i != j) received += bytes_out[j][i];
+      }
+      double inject_time = injected / (link_gbs * 1e9);
+      double receive_time = received / (link_gbs * 1e9);
+      worst = std::max({worst, inject_time, receive_time});
+    }
+    return worst + message_latency_sec * (nodes > 1 ? nodes - 1 : 0);
+  }
+};
+
+}  // namespace fpart

@@ -1,0 +1,21 @@
+#include "fpga/config.h"
+
+namespace fpart {
+
+const char* OutputModeName(OutputMode mode) {
+  return mode == OutputMode::kHist ? "HIST" : "PAD";
+}
+
+const char* LayoutModeName(LayoutMode mode) {
+  switch (mode) {
+    case LayoutMode::kRid:
+      return "RID";
+    case LayoutMode::kVrid:
+      return "VRID";
+    case LayoutMode::kCompressed:
+      return "COMPRESSED";
+  }
+  return "unknown";
+}
+
+}  // namespace fpart

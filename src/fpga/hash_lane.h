@@ -1,0 +1,79 @@
+// The hash-function module of Section 4.1 (Code 3), one per tuple slot of
+// the 64 B input cache line.
+//
+// The module is a pure pipeline: it accepts one tuple per clock and emits
+// one <hash, tuple> pair per clock after a fixed latency (5 cycles for
+// murmur, Table 3). Extra pipeline stages only add latency, never reduce
+// throughput — which is why robust hashing is free on the FPGA.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "datagen/tuple.h"
+#include "hash/hash_function.h"
+#include "sim/fifo.h"
+
+namespace fpart {
+
+/// A tuple annotated with its partition index, as carried between the hash
+/// module and the write combiner.
+template <typename T>
+struct HashedTuple {
+  uint32_t hash;
+  T tuple;
+};
+
+/// \brief Fixed-latency hash pipeline feeding one lane FIFO.
+template <typename T>
+class HashLane {
+ public:
+  /// \param fn       partitioning-attribute function (murmur or radix)
+  /// \param latency  pipeline depth in cycles
+  /// \param out      lane FIFO this module pushes into
+  HashLane(const PartitionFn& fn, int latency, Fifo<HashedTuple<T>>* out)
+      : fn_(fn), latency_(latency < 1 ? 1 : latency), out_(out) {}
+
+  /// Advance one clock cycle, optionally accepting a new tuple.
+  void Tick(std::optional<T> input) {
+    pipe_.push_back(std::move(input));
+    if (static_cast<int>(pipe_.size()) > latency_) {
+      std::optional<T> done = std::move(pipe_.front());
+      pipe_.pop_front();
+      if (done.has_value()) {
+        // The hash itself is computed functionally; the pipeline registers
+        // model only its timing.
+        out_->Push(HashedTuple<T>{Hash(*done), *done});
+      }
+    }
+  }
+
+  /// Tuples currently inside the pipeline (not yet in the FIFO). The feeder
+  /// must reserve this many FIFO slots before accepting new input.
+  size_t in_flight() const {
+    size_t n = 0;
+    for (const auto& slot : pipe_) n += slot.has_value() ? 1 : 0;
+    return n;
+  }
+
+  bool empty() const { return in_flight() == 0; }
+  int latency() const { return latency_; }
+
+  /// Partition index of a tuple (Code 3: hash then take N LSBs).
+  uint32_t Hash(const T& t) const {
+    if constexpr (sizeof(t.key) == 4) {
+      return fn_(t.key);
+    } else {
+      return fn_.Apply64(t.key);
+    }
+  }
+
+ private:
+  PartitionFn fn_;
+  int latency_;
+  Fifo<HashedTuple<T>>* out_;
+  std::deque<std::optional<T>> pipe_;
+};
+
+}  // namespace fpart

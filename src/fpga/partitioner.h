@@ -1,0 +1,485 @@
+// Top-level FPGA partitioner circuit (Section 4, Figure 5).
+//
+// The circuit is simulated cycle by cycle: per clock it can accept one
+// 64 B cache line from QPI, push one tuple into each of the K hash lanes,
+// advance every write combiner one stage, and emit one combined cache line
+// through the write-back module — exactly the fully pipelined dataflow of
+// the paper. The QPI link throttles both directions with the calibrated
+// Figure 2 bandwidth curve, so simulated cycles × 5 ns reproduces the
+// paper's end-to-end throughput; with the 25.6 GB/s raw wrapper the circuit
+// runs at its internal rate of one cache line per cycle.
+//
+// Functionally, the simulation really moves the tuples: the result is a
+// PartitionedOutput backed by host memory that the CPU join phases consume.
+// Address translation (the BRAM page table of Section 2.1) is validated in
+// its own unit tests; inside this hot loop the translation is represented
+// by its latency only, since it is pipelined and never limits throughput.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "compress/for_codec.h"
+#include "datagen/partitioned_output.h"
+#include "datagen/tuple.h"
+#include "fpga/config.h"
+#include "fpga/hash_lane.h"
+#include "fpga/write_back.h"
+#include "fpga/write_combiner.h"
+#include "hash/hash_function.h"
+#include "qpi/qpi_link.h"
+#include "sim/stats.h"
+
+namespace fpart {
+
+/// \brief Result of one partitioning run on the (simulated) FPGA.
+template <typename T>
+struct FpgaRunResult {
+  PartitionedOutput<T> output;
+  CycleStats stats;
+  /// Simulated wall time: cycles × 5 ns (200 MHz clock).
+  double seconds = 0.0;
+  double mtuples_per_sec = 0.0;
+  /// Exact per-partition tuple counts (HIST mode only; empty in PAD mode).
+  std::vector<uint64_t> histogram;
+  /// Observed QPI read/write cache-line ratio r (for model validation).
+  double read_write_ratio = 0.0;
+};
+
+/// \brief The paper's FPGA data partitioner, as a cycle-level simulator.
+template <typename T>
+class FpgaPartitioner {
+ public:
+  static constexpr int K = TupleTraits<T>::kTuplesPerCacheLine;
+  using KeyType = decltype(T{}.key);
+  static constexpr int kKeysPerCacheLine = kCacheLineSize / sizeof(KeyType);
+
+  explicit FpgaPartitioner(FpgaPartitionerConfig config)
+      : config_(std::move(config)),
+        fn_(config_.hash == HashMethod::kRange
+                ? PartitionFn::Range(config_.range_splitters)
+                : PartitionFn(config_.hash, config_.fanout)) {}
+
+  const FpgaPartitionerConfig& config() const { return config_; }
+
+  /// Ablation hook: switch the write combiners to the naive stalling
+  /// circuit (bench/ablation_forwarding).
+  void set_hazard_policy(HazardPolicy policy) { hazard_ = policy; }
+
+  /// RID mode: partition a row-store relation of n tuples.
+  Result<FpgaRunResult<T>> Partition(const T* tuples, size_t n) {
+    if (config_.layout != LayoutMode::kRid) {
+      return Status::InvalidArgument(
+          "config selects VRID; call PartitionColumn");
+    }
+    FPART_RETURN_NOT_OK(Validate());
+    in_tuples_ = tuples;
+    in_keys_ = nullptr;
+    in_column_ = nullptr;
+    return Run(n);
+  }
+
+  /// VRID mode: partition a column-store key array; the circuit appends
+  /// virtual record ids (the key's position) as payloads.
+  Result<FpgaRunResult<T>> PartitionColumn(const KeyType* keys, size_t n) {
+    if (config_.layout != LayoutMode::kVrid) {
+      return Status::InvalidArgument("config selects RID; call Partition");
+    }
+    FPART_RETURN_NOT_OK(Validate());
+    in_tuples_ = nullptr;
+    in_keys_ = keys;
+    in_column_ = nullptr;
+    return Run(n);
+  }
+
+  /// Compressed mode (Section 6): partition a FOR bit-packed key column;
+  /// the circuit decompresses each 64 B frame as the first pipeline step
+  /// and appends virtual record ids. Reads shrink by the compression
+  /// ratio.
+  Result<FpgaRunResult<T>> PartitionCompressed(const CompressedColumn& column) {
+    if (config_.layout != LayoutMode::kCompressed) {
+      return Status::InvalidArgument(
+          "config does not select the compressed layout");
+    }
+    FPART_RETURN_NOT_OK(Validate());
+    in_tuples_ = nullptr;
+    in_keys_ = nullptr;
+    in_column_ = &column;
+    return Run(column.num_keys());
+  }
+
+ private:
+  /// One group of up to K tuples entering the hash lanes in one cycle.
+  struct Group {
+    std::array<T, K> tuples;
+    uint8_t count = 0;
+  };
+
+  Status Validate() const {
+    if (!IsPowerOfTwo(config_.fanout) ||
+        config_.fanout > FpgaPartitionerConfig::kMaxFanout) {
+      return Status::InvalidArgument(
+          "fanout must be a power of two <= " +
+          std::to_string(FpgaPartitionerConfig::kMaxFanout));
+    }
+    if (config_.lane_fifo_depth <
+        static_cast<uint32_t>(config_.hash_latency() + 2)) {
+      return Status::InvalidArgument(
+          "lane FIFO must cover the hash pipeline depth");
+    }
+    if (config_.hash == HashMethod::kRange &&
+        config_.range_splitters.size() + 1 != config_.fanout) {
+      return Status::InvalidArgument(
+          "range partitioning needs exactly fanout-1 splitters");
+    }
+    return Status::OK();
+  }
+
+  QpiLink MakeLink() const {
+    if (config_.link == LinkKind::kRawWrapper) {
+      return QpiLink::Fixed(kFpgaClockHz, kRawWrapperBandwidthGBs);
+    }
+    return QpiLink::XeonFpga(kFpgaClockHz, config_.interference);
+  }
+
+  /// Cache-line reads required to scan the input once.
+  size_t TotalReads(size_t n) const {
+    if (config_.layout == LayoutMode::kCompressed) {
+      return in_column_->num_frames();
+    }
+    if (config_.layout == LayoutMode::kVrid) {
+      return (n + kKeysPerCacheLine - 1) / kKeysPerCacheLine;
+    }
+    return (n + K - 1) / K;
+  }
+
+  /// Tuple groups produced by one granted cache-line read: the VRID key
+  /// line expands into multiple tuple lines inside the circuit.
+  size_t GroupsPerRead() const {
+    switch (config_.layout) {
+      case LayoutMode::kVrid:
+        return static_cast<size_t>(kKeysPerCacheLine / K);
+      case LayoutMode::kCompressed:
+        // Variable per frame (up to kMaxKeysPerFrame keys); this value
+        // only sizes the staging buffer's refill threshold.
+        return 8;
+      case LayoutMode::kRid:
+        break;
+    }
+    return 1;
+  }
+
+  /// Materialize the tuple groups of cache line `read_idx` into `staging`.
+  void MaterializeGroups(size_t n, size_t read_idx,
+                         std::deque<Group>* staging) const {
+    const T* tuples = in_tuples_;
+    const KeyType* keys = in_keys_;
+    if (config_.layout == LayoutMode::kCompressed) {
+      // The decompressor lane: unpack one frame (one cycle in hardware)
+      // into key groups, appending virtual record ids.
+      uint32_t scratch[kMaxKeysPerFrame];
+      const int count = in_column_->DecodeFrame(read_idx, scratch);
+      const uint64_t base = in_column_->frame_offset(read_idx);
+      Group group;
+      for (int k = 0; k < count; ++k) {
+        T t{};
+        TupleTraits<T>::SetKey(&t, scratch[k]);
+        SetPayloadId(&t, base + k);
+        group.tuples[group.count++] = t;
+        if (group.count == K) {
+          staging->push_back(group);
+          group = Group{};
+        }
+      }
+      if (group.count > 0) staging->push_back(group);
+      return;
+    }
+    if (config_.layout == LayoutMode::kVrid) {
+      size_t base = read_idx * kKeysPerCacheLine;
+      for (size_t g = 0; g < GroupsPerRead(); ++g) {
+        Group group;
+        for (int k = 0; k < K; ++k) {
+          size_t idx = base + g * K + k;
+          if (idx >= n) break;
+          T t{};
+          TupleTraits<T>::SetKey(&t, keys[idx]);
+          SetPayloadId(&t, idx);  // the virtual record id
+          group.tuples[group.count++] = t;
+        }
+        if (group.count > 0) staging->push_back(group);
+      }
+    } else {
+      size_t base = read_idx * K;
+      Group group;
+      for (int k = 0; k < K; ++k) {
+        if (base + k >= n) break;
+        group.tuples[group.count++] = tuples[base + k];
+      }
+      if (group.count > 0) staging->push_back(group);
+    }
+  }
+
+  /// Shared per-cycle input machinery: issue a QPI read when the staging
+  /// buffer has room, then feed one tuple group into the hash lanes if
+  /// every lane FIFO can absorb it (the back-pressure rule of Section 4.3:
+  /// read requests are only issued while the first-stage FIFOs have room).
+  void FeedCycle(size_t n, size_t total_reads, size_t* reads_done,
+                 std::deque<Group>* staging, QpiLink* link, CycleStats* stats,
+                 std::vector<HashLane<T>>* lanes,
+                 const std::vector<Fifo<HashedTuple<T>>*>& lane_fifos,
+                 uint64_t* fed) {
+    if (*reads_done < total_reads &&
+        staging->size() < 2 * GroupsPerRead()) {
+      if (link->TryRead()) {
+        MaterializeGroups(n, *reads_done, staging);
+        ++*reads_done;
+        ++stats->read_lines;
+      } else {
+        ++stats->backpressure_cycles;
+      }
+    }
+    bool ready = !staging->empty();
+    for (int c = 0; c < K && ready; ++c) {
+      if (lane_fifos[c]->free_slots() <= (*lanes)[c].in_flight()) {
+        ready = false;
+      }
+    }
+    if (ready) {
+      const Group& group = staging->front();
+      for (int c = 0; c < K; ++c) {
+        (*lanes)[c].Tick(c < group.count ? std::optional<T>(group.tuples[c])
+                                         : std::nullopt);
+      }
+      *fed += group.count;
+      ++stats->input_lines;
+      staging->pop_front();
+    } else {
+      for (int c = 0; c < K; ++c) (*lanes)[c].Tick(std::nullopt);
+    }
+  }
+
+  Result<FpgaRunResult<T>> Run(size_t n) {
+    FpgaRunResult<T> result;
+    QpiLink link = MakeLink();
+
+    std::vector<std::vector<uint64_t>> lane_hist;
+    if (config_.output_mode == OutputMode::kHist) {
+      FPART_RETURN_NOT_OK(HistogramPass(n, &link, &result.stats, &lane_hist));
+    }
+
+    // --- Allocate the destination partitions.
+    std::vector<uint32_t> capacity_cls(config_.fanout);
+    if (config_.output_mode == OutputMode::kHist) {
+      // Exact allocation from the per-lane histograms: each combiner emits
+      // ceil(count/K) lines per partition (full lines plus its flush line).
+      result.histogram.assign(config_.fanout, 0);
+      for (uint32_t p = 0; p < config_.fanout; ++p) {
+        uint64_t cls = 0;
+        for (int c = 0; c < K; ++c) {
+          cls += (lane_hist[c][p] + K - 1) / K;
+          result.histogram[p] += lane_hist[c][p];
+        }
+        capacity_cls[p] = static_cast<uint32_t>(cls);
+      }
+      // Computing the prefix sum over the histogram BRAM costs one pass
+      // over the partitions (Section 4.3).
+      result.stats.cycles += config_.fanout;
+    } else {
+      // PAD mode: #Tuples/#Partitions + Padding, rounded up to cache lines.
+      // Every combiner can leave one partially filled line per partition at
+      // flush time, so the fixed size also reserves K-1 lines of
+      // fragmentation slack on top of the tuple budget.
+      double per_part = static_cast<double>(n) / config_.fanout;
+      uint64_t cap_tuples =
+          static_cast<uint64_t>(per_part * (1.0 + config_.pad_fraction)) + 1;
+      uint32_t cls =
+          static_cast<uint32_t>((cap_tuples + K - 1) / K) + (K - 1);
+      std::fill(capacity_cls.begin(), capacity_cls.end(),
+                std::max(1u, cls));
+    }
+    FPART_ASSIGN_OR_RETURN(result.output,
+                           PartitionedOutput<T>::Allocate(capacity_cls));
+
+    FPART_RETURN_NOT_OK(PartitionPass(n, &link, &result.stats, &result.output));
+
+    result.seconds = result.stats.Seconds(kFpgaClockHz);
+    result.mtuples_per_sec =
+        result.seconds > 0 ? n / result.seconds / 1e6 : 0.0;
+    result.read_write_ratio =
+        link.writes_granted() > 0
+            ? static_cast<double>(link.reads_granted()) /
+                  static_cast<double>(link.writes_granted())
+            : 0.0;
+    return result;
+  }
+
+  /// HIST pass 1: scan the relation and build per-lane histograms; nothing
+  /// is written back (Section 4.5).
+  Status HistogramPass(size_t n, QpiLink* link, CycleStats* stats,
+                       std::vector<std::vector<uint64_t>>* lane_hist) {
+    lane_hist->assign(K, std::vector<uint64_t>(config_.fanout, 0));
+    std::vector<Fifo<HashedTuple<T>>> fifo_storage(
+        K, Fifo<HashedTuple<T>>(config_.lane_fifo_depth));
+    std::vector<Fifo<HashedTuple<T>>*> lane_fifos;
+    std::vector<HashLane<T>> lanes;
+    lanes.reserve(K);
+    for (int c = 0; c < K; ++c) {
+      lane_fifos.push_back(&fifo_storage[c]);
+      lanes.emplace_back(fn_, config_.hash_latency(), &fifo_storage[c]);
+    }
+
+    const size_t total_reads = TotalReads(n);
+    size_t reads_done = 0;
+    std::deque<Group> staging;
+    uint64_t fed = 0;
+    const uint64_t max_cycles = MaxCycles(n);
+
+    auto busy = [&] {
+      if (fed < n) return true;
+      for (int c = 0; c < K; ++c) {
+        if (!lanes[c].empty() || !fifo_storage[c].empty()) return true;
+      }
+      return false;
+    };
+    while (busy()) {
+      if (stats->cycles++ > max_cycles) {
+        return Status::Internal("histogram pass exceeded cycle budget");
+      }
+      link->Tick();
+      // Histogram sink: one tuple per lane per cycle.
+      for (int c = 0; c < K; ++c) {
+        if (auto ht = fifo_storage[c].Pop()) {
+          ++(*lane_hist)[c][ht->hash];
+        }
+      }
+      FeedCycle(n, total_reads, &reads_done, &staging, link, stats, &lanes,
+                lane_fifos, &fed);
+    }
+    return Status::OK();
+  }
+
+  /// The writing pass (PAD's only pass / HIST's second pass).
+  Status PartitionPass(size_t n, QpiLink* link, CycleStats* stats,
+                       PartitionedOutput<T>* output) {
+    std::vector<WriteCombiner<T>> combiners;
+    combiners.reserve(K);
+    for (int c = 0; c < K; ++c) {
+      combiners.emplace_back(config_.fanout, config_.lane_fifo_depth,
+                             config_.output_fifo_depth, hazard_);
+    }
+    std::vector<HashLane<T>> lanes;
+    std::vector<Fifo<HashedTuple<T>>*> lane_fifos;
+    lanes.reserve(K);
+    for (int c = 0; c < K; ++c) {
+      lane_fifos.push_back(&combiners[c].input());
+      lanes.emplace_back(fn_, config_.hash_latency(), &combiners[c].input());
+    }
+    std::vector<Fifo<CombinedLine<T>>*> outputs;
+    for (int c = 0; c < K; ++c) outputs.push_back(&combiners[c].output());
+    WriteBackModule<T> write_back(output, outputs);
+
+    const size_t total_reads = TotalReads(n);
+    size_t reads_done = 0;
+    std::deque<Group> staging;
+    uint64_t fed = 0;
+    const uint64_t max_cycles = MaxCycles(n);
+
+    auto overflow_status = [&] {
+      return Status::PartitionOverflow(
+          "PAD-mode partition " +
+          std::to_string(write_back.overflow_partition()) +
+          " overflowed; retry in HIST mode or fall back to the CPU "
+          "partitioner (Section 4.5)");
+    };
+
+    // --- Main streaming loop: runs until every tuple has left the hash
+    // pipelines AND the combiners AND the write-back stage.
+    auto busy = [&] {
+      if (fed < n || !write_back.idle()) return true;
+      for (const auto& lane : lanes) {
+        if (!lane.empty()) return true;
+      }
+      for (const auto& c : combiners) {
+        if (!c.drained() || !c.output().empty()) return true;
+      }
+      return false;
+    };
+    while (busy()) {
+      if (stats->cycles++ > max_cycles) {
+        return Status::Internal("partition pass exceeded cycle budget");
+      }
+      link->Tick();
+      write_back.Tick(link, stats);
+      if (write_back.overflowed()) return overflow_status();
+      for (auto& c : combiners) c.Tick();
+      FeedCycle(n, total_reads, &reads_done, &staging, link, stats, &lanes,
+                lane_fifos, &fed);
+    }
+
+    // --- Flush: scan every (combiner, partition) BRAM address at one per
+    // cycle (the cwritecomb = K·#partitions latency term of Table 3),
+    // emitting padded partial lines.
+    for (int c = 0; c < K; ++c) {
+      uint32_t p = 0;
+      while (p < config_.fanout) {
+        if (stats->cycles++ > max_cycles) {
+          return Status::Internal("flush exceeded cycle budget");
+        }
+        link->Tick();
+        write_back.Tick(link, stats);
+        if (write_back.overflowed()) return overflow_status();
+        if (combiners[c].output().free_slots() > 0) {
+          combiners[c].FlushPartition(p);
+          ++p;
+        }
+      }
+    }
+    // --- Drain the remaining lines.
+    auto lines_pending = [&] {
+      if (!write_back.idle()) return true;
+      for (const auto& c : combiners) {
+        if (!c.output().empty()) return true;
+      }
+      return false;
+    };
+    while (lines_pending()) {
+      if (stats->cycles++ > max_cycles) {
+        return Status::Internal("drain exceeded cycle budget");
+      }
+      link->Tick();
+      write_back.Tick(link, stats);
+      if (write_back.overflowed()) return overflow_status();
+    }
+
+    // --- Invariant checks: the circuit claims zero internal stalls and no
+    // lost data under the forwarding policy.
+    for (const auto& c : combiners) {
+      stats->internal_stall_cycles += c.stall_cycles();
+      if (c.lost_lines() != 0 || c.alignment_errors() != 0) {
+        return Status::Internal("write combiner dropped data (bug)");
+      }
+    }
+    return Status::OK();
+  }
+
+  uint64_t MaxCycles(size_t n) const {
+    return 64 * (static_cast<uint64_t>(n) +
+                 static_cast<uint64_t>(config_.fanout) * (K + 2)) +
+           (uint64_t{1} << 20);
+  }
+
+  FpgaPartitionerConfig config_;
+  PartitionFn fn_;
+  HazardPolicy hazard_ = HazardPolicy::kForward;
+  // Active input source (set by the public entry points for one Run).
+  const T* in_tuples_ = nullptr;
+  const KeyType* in_keys_ = nullptr;
+  const CompressedColumn* in_column_ = nullptr;
+};
+
+}  // namespace fpart

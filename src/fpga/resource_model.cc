@@ -1,0 +1,34 @@
+#include "fpga/resource_model.h"
+
+#include "common/macros.h"
+
+namespace fpart {
+
+ResourceUsage EstimateResources(int tuple_width_bytes, uint32_t fanout) {
+  const double k = static_cast<double>(kCacheLineSize) / tuple_width_bytes;
+  const double key_bytes = tuple_width_bytes == 8 ? 4.0 : 8.0;
+
+  // --- BRAM: K combiners × K banks × fanout entries × tuple width, plus
+  // fill-rate BRAMs, FIFOs and the page table (a per-lane overhead).
+  const double bank_bytes = k * k * fanout * tuple_width_bytes;
+  const double bank_blocks = bank_bytes / StratixVDevice::kBramBlockBytes;
+  const double overhead_blocks =
+      (6.0 + 0.75 * k) / 100.0 * StratixVDevice::kBramBlocks;
+  const double bram_pct =
+      100.0 * (bank_blocks + overhead_blocks) / StratixVDevice::kBramBlocks;
+
+  // --- DSP: two pipelined multipliers per hash lane; a 64-bit multiply
+  // needs ~3x the DSPs of a 32-bit one.
+  const double dsp_per_mult = key_bytes == 4.0 ? 2.25 : 6.75;
+  const double dsp_blocks = k * 2.0 * dsp_per_mult;
+  const double dsp_pct = 100.0 * dsp_blocks / StratixVDevice::kDspBlocks;
+
+  // --- Logic: QPI plumbing and control are a fixed base; the combiner
+  // steering (K banks × K lanes of comparators and muxes) adds a
+  // quadratic term.
+  const double logic_pct = 26.5 + 0.16 * k * k;
+
+  return ResourceUsage{logic_pct, bram_pct, dsp_pct};
+}
+
+}  // namespace fpart

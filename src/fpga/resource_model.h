@@ -1,0 +1,37 @@
+// FPGA resource-usage model (Table 2, Section 4.4).
+//
+// Estimates the Stratix V (5SGXEA) utilization of the partitioner as a
+// function of the tuple-width configuration. The component counts follow
+// the circuit structure: K×K BRAM banks of `fanout` tuples dominate BRAM;
+// the murmur pipeline's multipliers dominate DSPs; the write combiner's
+// steering logic dominates ALMs and shrinks quadratically as K drops.
+// Constants are calibrated so that the 8192-partition configurations
+// reproduce Table 2 within one percentage point.
+#pragma once
+
+#include <cstdint>
+
+namespace fpart {
+
+/// Device totals of the Altera Stratix V 5SGXEA7 used on HARP v1.
+struct StratixVDevice {
+  /// Adaptive logic modules.
+  static constexpr double kLogicUnits = 234720;
+  /// M20K memory blocks (2.5 KB each).
+  static constexpr double kBramBlocks = 2560;
+  static constexpr double kBramBlockBytes = 2560;  // 20 kbit
+  /// Variable-precision DSP blocks.
+  static constexpr double kDspBlocks = 256;
+};
+
+/// \brief Estimated utilization percentages for one configuration.
+struct ResourceUsage {
+  double logic_pct;
+  double bram_pct;
+  double dsp_pct;
+};
+
+/// Estimate utilization for a tuple width (8/16/32/64 bytes) and fan-out.
+ResourceUsage EstimateResources(int tuple_width_bytes, uint32_t fanout);
+
+}  // namespace fpart

@@ -1,0 +1,219 @@
+// The write-combiner module of Section 4.2 (Figure 6, Code 4).
+//
+// One combiner per tuple slot of the input cache line. Each combiner gathers
+// K tuples (K = tuples per cache line) of the same partition into a full
+// 64 B line before it is written to memory, turning the naive
+// (64+64)·T bytes of read-modify-write traffic into 64·T/K bytes.
+//
+// The circuit is fully pipelined. The fill-rate BRAM read takes 2 cycles;
+// reads capture "old data", so when consecutive tuples hit the same
+// partition the in-flight fill rate is forwarded from the previous one or
+// two computed tuples instead of (wrongly) using the stale BRAM value.
+// With forwarding the pipeline never stalls, regardless of input pattern —
+// the paper's headline property. A kStall hazard policy is provided for the
+// ablation benchmark: it models the naive circuit that pauses the pipe on
+// read-after-write hazards instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/tuple.h"
+#include "fpga/hash_lane.h"
+#include "sim/bram.h"
+#include "sim/fifo.h"
+
+namespace fpart {
+
+/// Hazard handling for the fill-rate BRAM read-after-write dependency.
+enum class HazardPolicy {
+  /// Forwarding registers over the last two in-flight tuples (Code 4).
+  kForward,
+  /// Naive: stall the pipe while a same-partition tuple is in flight.
+  kStall,
+};
+
+/// \brief A full cache line assembled by a write combiner.
+template <typename T>
+struct CombinedLine {
+  static constexpr int kTuples = TupleTraits<T>::kTuplesPerCacheLine;
+
+  uint32_t partition = 0;
+  std::array<T, kTuples> tuples{};
+  /// Real tuples in the line; the rest are dummy padding (flush only).
+  uint8_t valid_count = 0;
+};
+
+/// \brief Cycle-level model of one write-combiner module.
+template <typename T>
+class WriteCombiner {
+ public:
+  static constexpr int K = TupleTraits<T>::kTuplesPerCacheLine;
+
+  WriteCombiner(uint32_t fanout, size_t input_depth, size_t output_depth,
+                HazardPolicy hazard = HazardPolicy::kForward)
+      : fanout_(fanout),
+        hazard_(hazard),
+        in_(input_depth),
+        out_(output_depth),
+        fill_(fanout, /*latency=*/2) {
+    banks_.reserve(K);
+    for (int b = 0; b < K; ++b) banks_.emplace_back(fanout, /*latency=*/1);
+  }
+
+  Fifo<HashedTuple<T>>& input() { return in_; }
+  const Fifo<HashedTuple<T>>& input() const { return in_; }
+  Fifo<CombinedLine<T>>& output() { return out_; }
+  const Fifo<CombinedLine<T>>& output() const { return out_; }
+
+  /// Advance one clock cycle.
+  void Tick() {
+    fill_.Tick();
+    for (auto& bank : banks_) bank.Tick();
+
+    // --- Stage 3: the 8-bank read issued last cycle completed; assemble
+    // the full cache line and push it downstream.
+    if (assembling_valid_) {
+      CombinedLine<T> line;
+      line.partition = assembling_hash_;
+      line.valid_count = K;
+      for (int b = 0; b < K; ++b) line.tuples[b] = banks_[b].read_data();
+      if (!out_.Push(line)) ++lost_lines_;  // impossible: slots are reserved
+      assembling_valid_ = false;
+    }
+
+    // --- Stage 0: pop a new tuple and issue its fill-rate read. The read
+    // is issued *before* stage 2's write below lands, modelling the BRAM's
+    // old-data read semantics — the reason forwarding exists.
+    Stage incoming;
+    if (!in_.empty() && out_.free_slots() > InFlightLines()) {
+      if (hazard_ == HazardPolicy::kStall && HasHazard(in_.Front().hash)) {
+        ++stall_cycles_;
+      } else {
+        HashedTuple<T> popped = *in_.Pop();
+        incoming.valid = true;
+        incoming.hash = popped.hash;
+        incoming.tuple = popped.tuple;
+        fill_.IssueRead(incoming.hash);
+        ++tuples_in_;
+      }
+    }
+
+    // --- Stage 2: the tuple popped two cycles ago receives its fill rate
+    // (from the BRAM or forwarded) and is steered into a bank.
+    Prev computed;
+    if (stage2_.valid) {
+      uint32_t which;
+      if (hazard_ == HazardPolicy::kForward && prev1_.valid &&
+          stage2_.hash == prev1_.hash) {
+        which = (prev1_.bank + 1) & (K - 1);
+      } else if (hazard_ == HazardPolicy::kForward && prev2_.valid &&
+                 stage2_.hash == prev2_.hash) {
+        which = (prev2_.bank + 1) & (K - 1);
+      } else {
+        if (!fill_.read_ready()) ++alignment_errors_;
+        which = fill_.read_data();
+      }
+      which &= static_cast<uint32_t>(K - 1);
+      if (which == static_cast<uint32_t>(K - 1)) {
+        // Line complete: reset the fill rate, store the closing tuple, then
+        // request all K banks at this address (the write above is visible
+        // because the actual bank read happens one cycle later).
+        fill_.Write(stage2_.hash, 0);
+        banks_[K - 1].Write(stage2_.hash, stage2_.tuple);
+        for (int b = 0; b < K; ++b) banks_[b].IssueRead(stage2_.hash);
+        assembling_valid_ = true;
+        assembling_hash_ = stage2_.hash;
+      } else {
+        fill_.Write(stage2_.hash, static_cast<uint8_t>(which + 1));
+        banks_[which].Write(stage2_.hash, stage2_.tuple);
+      }
+      computed.valid = true;
+      computed.hash = stage2_.hash;
+      computed.bank = static_cast<uint8_t>(which);
+    }
+
+    // --- Shift the pipeline registers.
+    stage2_ = stage1_;
+    stage1_ = incoming;
+    prev2_ = prev1_;
+    prev1_ = computed;
+  }
+
+  /// True when no tuple is anywhere in the internal pipeline.
+  bool drained() const {
+    return in_.empty() && !stage1_.valid && !stage2_.valid &&
+           !assembling_valid_;
+  }
+
+  /// Flush step (Section 4.2 end-of-run): emit the partial line of
+  /// partition `p`, padding empty slots with dummy keys. Returns the number
+  /// of dummy tuples added, or -1 if nothing was pending at `p`.
+  /// Caller guarantees the pipe is drained and the output FIFO has room.
+  int FlushPartition(uint32_t p) {
+    uint8_t fill = fill_.Peek(p);
+    if (fill == 0) return -1;
+    CombinedLine<T> line;
+    line.partition = p;
+    line.valid_count = fill;
+    for (int b = 0; b < K; ++b) {
+      line.tuples[b] =
+          b < fill ? banks_[b].Peek(p) : MakeDummyTuple<T>();
+    }
+    fill_.Write(p, 0);
+    out_.Push(line);
+    return K - fill;
+  }
+
+  uint32_t fanout() const { return fanout_; }
+  uint64_t tuples_in() const { return tuples_in_; }
+  /// Hazard-induced pipeline stalls; 0 under HazardPolicy::kForward.
+  uint64_t stall_cycles() const { return stall_cycles_; }
+  /// Dropped lines / missing BRAM deliveries; both must always be 0.
+  uint64_t lost_lines() const { return lost_lines_; }
+  uint64_t alignment_errors() const { return alignment_errors_; }
+
+ private:
+  struct Stage {
+    bool valid = false;
+    uint32_t hash = 0;
+    T tuple{};
+  };
+  struct Prev {
+    bool valid = false;
+    uint32_t hash = 0;
+    uint8_t bank = 0;
+  };
+
+  /// Lines that may still materialize from tuples already in the pipe.
+  size_t InFlightLines() const {
+    return (stage1_.valid ? 1 : 0) + (stage2_.valid ? 1 : 0) +
+           (assembling_valid_ ? 1 : 0);
+  }
+
+  /// kStall policy: a same-partition tuple is still in flight.
+  bool HasHazard(uint32_t hash) const {
+    return (stage1_.valid && stage1_.hash == hash) ||
+           (stage2_.valid && stage2_.hash == hash);
+  }
+
+  uint32_t fanout_;
+  HazardPolicy hazard_;
+  Fifo<HashedTuple<T>> in_;
+  Fifo<CombinedLine<T>> out_;
+  Bram<uint8_t> fill_;
+  std::vector<Bram<T>> banks_;
+
+  Stage stage1_, stage2_;
+  Prev prev1_, prev2_;
+  bool assembling_valid_ = false;
+  uint32_t assembling_hash_ = 0;
+
+  uint64_t tuples_in_ = 0;
+  uint64_t stall_cycles_ = 0;
+  uint64_t lost_lines_ = 0;
+  uint64_t alignment_errors_ = 0;
+};
+
+}  // namespace fpart

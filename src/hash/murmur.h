@@ -1,0 +1,32 @@
+// Murmur3 finalizers — the "robust" hash functions of the paper.
+//
+// The FPGA hash-function module (Code 3 in the paper) implements exactly the
+// 32-bit murmur3 finalizer as a 5-stage pipeline. The 64-bit variant is the
+// corresponding murmur3 fmix64, used for 8 B keys (Section 4.4).
+#pragma once
+
+#include <cstdint>
+
+namespace fpart {
+
+/// Murmur3 fmix32 finalizer (Appleby [2]); 5 pipelineable stages.
+constexpr uint32_t Murmur32(uint32_t key) {
+  key ^= key >> 16;
+  key *= 0x85ebca6bU;
+  key ^= key >> 13;
+  key *= 0xc2b2ae35U;
+  key ^= key >> 16;
+  return key;
+}
+
+/// Murmur3 fmix64 finalizer, for 8 B keys.
+constexpr uint64_t Murmur64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+}  // namespace fpart

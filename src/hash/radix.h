@@ -1,0 +1,25 @@
+// Radix-bit extraction — the cheap partitioning attribute of Section 3.1.
+#pragma once
+
+#include <cstdint>
+
+namespace fpart {
+
+/// Take the `bits` least significant bits of `key` (radix partitioning).
+constexpr uint32_t RadixBits(uint64_t key, int bits) {
+  if (bits >= 64) return static_cast<uint32_t>(key);
+  return static_cast<uint32_t>(key & ((uint64_t{1} << bits) - 1));
+}
+
+/// Number of bits needed to address `fanout` partitions (fanout must be a
+/// power of two; returns its log2).
+constexpr int FanoutBits(uint32_t fanout) {
+  int bits = 0;
+  while ((uint32_t{1} << bits) < fanout) ++bits;
+  return bits;
+}
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace fpart

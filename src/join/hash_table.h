@@ -1,0 +1,72 @@
+// Bucket-chaining hash table for the in-cache build+probe phase of the
+// radix join (Manegold et al. [21], Section 3.3 of the paper).
+//
+// The table does not copy tuples: buckets chain indices into the partition
+// data itself. During the probe this means random accesses into the
+// partition — exactly the access pattern that the coherence snooping of
+// Section 2.2 penalizes when the partition was written by the FPGA.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/tuple.h"
+#include "hash/murmur.h"
+#include "hash/radix.h"
+
+namespace fpart {
+
+/// \brief Chained hash table over one cache-sized partition.
+///
+/// Reusable across partitions: Reset() re-buckets without reallocating, so
+/// the per-thread scratch stays warm.
+template <typename T>
+class BucketChainTable {
+ public:
+  /// Prepare for a partition of `slots` tuple slots (including dummies).
+  void Reset(size_t slots) {
+    size_t want_buckets = 1;
+    while (want_buckets < slots) want_buckets <<= 1;
+    if (want_buckets < 16) want_buckets = 16;
+    buckets_.assign(want_buckets, -1);
+    next_.resize(slots);
+    mask_ = static_cast<uint32_t>(want_buckets - 1);
+  }
+
+  /// Insert the tuple at index `i` of the partition (skip dummies upstream).
+  void Insert(const T* data, uint32_t i) {
+    uint32_t b = BucketOf(data[i].key);
+    next_[i] = buckets_[b];
+    buckets_[b] = static_cast<int32_t>(i);
+  }
+
+  /// Probe with `key`; invokes `fn(index)` for every chained candidate
+  /// whose key matches.
+  template <typename Fn>
+  void Probe(const T* data, decltype(T{}.key) key, Fn&& fn) const {
+    for (int32_t i = buckets_[BucketOf(key)]; i >= 0; i = next_[i]) {
+      if (data[i].key == key) fn(static_cast<uint32_t>(i));
+    }
+  }
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  /// Bucket index: an independent murmur slice, so it stays well
+  /// distributed even though the partitioning already consumed the low
+  /// key/hash bits.
+  uint32_t BucketOf(uint64_t key) const {
+    if constexpr (sizeof(decltype(T{}.key)) == 4) {
+      return Murmur32(static_cast<uint32_t>(key) ^ 0x9e3779b9U) & mask_;
+    } else {
+      return static_cast<uint32_t>(Murmur64(key ^ 0x9e3779b97f4a7c15ULL)) &
+             mask_;
+    }
+  }
+
+  std::vector<int32_t> buckets_;
+  std::vector<int32_t> next_;
+  uint32_t mask_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,94 @@
+// Performance model of the paper's CPU baseline (10-core Xeon E5-2680 v2),
+// calibrated to Figures 4, 10 and 11.
+//
+// The reproduction substitutes this model where the paper's experiment
+// needs the 10-core Xeon itself: the host executing this repository may
+// have any number of cores (possibly one), so the thread-scaling *shape*
+// of the CPU lines is reported from this calibrated model, next to the
+// host-measured numbers. Calibration anchors:
+//   - Figure 4: single-thread radix partitioning ≈ 150 Mtuples/s,
+//     single-thread hash (murmur) partitioning ≈ 75 Mtuples/s, both
+//     saturating at ≈ 506 Mtuples/s by 10 threads (memory bound).
+//   - Figure 10b: 10-thread build+probe of workload A (256e6 tuples)
+//     ≈ 0.35 s at 8192 partitions; Figure 10a single-threaded ≈ 1.7 s.
+//   - Figure 10a: build+probe slows when partitions exceed cache size
+//     (×1.65 from 8192 → 256 partitions at 128e6 tuples).
+#pragma once
+
+#include <cstdint>
+
+#include "hash/hash_function.h"
+
+namespace fpart {
+
+/// \brief Calibrated throughput/time model of the paper's CPU baseline.
+class CpuCostModel {
+ public:
+  /// Partitioning throughput in tuples/s for `threads` threads
+  /// (8 B tuples, software-managed buffers + non-temporal stores).
+  static double PartitionRateTuplesPerSec(size_t threads, HashMethod method) {
+    const double single = method == HashMethod::kRadix
+                              ? kRadixSingleThreadRate
+                              : kHashSingleThreadRate;
+    const double rate = single * static_cast<double>(threads);
+    return rate < kMemoryBoundRate ? rate : kMemoryBoundRate;
+  }
+
+  /// Time to partition n tuples (one relation).
+  static double PartitionSeconds(uint64_t n, size_t threads,
+                                 HashMethod method) {
+    return static_cast<double>(n) / PartitionRateTuplesPerSec(threads, method);
+  }
+
+  /// Build+probe time for |R|+|S| = total_tuples over `num_partitions`
+  /// partitions of `r_tuples` build tuples. Blocks that spill out of the
+  /// last-level-cache share slow the phase down (Figure 10).
+  static double BuildProbeSeconds(uint64_t total_tuples, uint64_t r_tuples,
+                                  uint32_t num_partitions, size_t threads) {
+    const double rate_unbounded =
+        kBuildProbeSingleThreadRate * static_cast<double>(threads);
+    const double rate = rate_unbounded < kBuildProbeBoundRate
+                            ? rate_unbounded
+                            : kBuildProbeBoundRate;
+    return total_tuples / rate *
+           CachePenalty(r_tuples, num_partitions);
+  }
+
+  /// Multiplier > 1 when a build partition no longer fits in cache.
+  static double CachePenalty(uint64_t r_tuples, uint32_t num_partitions) {
+    const double part_bytes =
+        static_cast<double>(r_tuples) / num_partitions * 8.0;
+    if (part_bytes <= kCacheFitBytes) return 1.0;
+    double doublings = 0.0;
+    double b = part_bytes;
+    while (b > kCacheFitBytes) {
+      b /= 2.0;
+      doublings += 1.0;
+    }
+    return 1.0 + kCachePenaltyPerDoubling * doublings;
+  }
+
+  /// End-to-end radix-join time on the paper's CPU (both partitions plus
+  /// build+probe), Figures 10–12.
+  static double JoinSeconds(uint64_t r_tuples, uint64_t s_tuples,
+                            uint32_t num_partitions, size_t threads,
+                            HashMethod method) {
+    return PartitionSeconds(r_tuples, threads, method) +
+           PartitionSeconds(s_tuples, threads, method) +
+           BuildProbeSeconds(r_tuples + s_tuples, r_tuples, num_partitions,
+                             threads);
+  }
+
+  // Calibration constants (tuples/s and bytes).
+  static constexpr double kRadixSingleThreadRate = 150e6;
+  static constexpr double kHashSingleThreadRate = 75e6;
+  static constexpr double kMemoryBoundRate = 506e6;
+  static constexpr double kBuildProbeSingleThreadRate = 150e6;
+  static constexpr double kBuildProbeBoundRate = 750e6;
+  /// A partition is cache-resident up to ~128 KB (half the 256 KB L2,
+  /// leaving room for the bucket arrays).
+  static constexpr double kCacheFitBytes = 128.0 * 1024;
+  static constexpr double kCachePenaltyPerDoubling = 0.13;
+};
+
+}  // namespace fpart

@@ -1,0 +1,51 @@
+// Numbers reported in the paper, used by the benchmark harness to print
+// paper-vs-measured comparisons (EXPERIMENTS.md). All partitioning
+// throughputs are Million 8 B tuples/s at 8192 partitions.
+#pragma once
+
+namespace fpart {
+namespace paper {
+
+// --- Figure 9: partitioner mode comparison.
+inline constexpr double kFig9Polychroniou32Cores = 1100;  // [27]
+inline constexpr double kFig9WangFpga = 256;              // [37]
+inline constexpr double kFig9HistRid = 299;
+inline constexpr double kFig9HistVrid = 391;
+inline constexpr double kFig9PadRid = 436;
+inline constexpr double kFig9PadVrid = 514;
+inline constexpr double kFig9Cpu10Cores = 506;
+inline constexpr double kFig9RawHist = 799;
+inline constexpr double kFig9RawPad = 1597;
+
+// --- Section 4.8: model validation look-ups.
+inline constexpr double kModelHistRid = 294;   // B(2)   = 7.05 GB/s
+inline constexpr double kModelMidModes = 435;  // B(1)   = 6.97 GB/s
+inline constexpr double kModelPadVrid = 495;   // B(0.5) = 5.94 GB/s
+
+// --- Table 1: coherence micro-benchmark (seconds, 512 MB region).
+inline constexpr double kTab1CpuWroteSeq = 0.1381;
+inline constexpr double kTab1CpuWroteRand = 1.1537;
+inline constexpr double kTab1FpgaWroteSeq = 0.1533;
+inline constexpr double kTab1FpgaWroteRand = 2.4876;
+
+// --- Table 2: resource usage (percent) per tuple width.
+struct Tab2Row {
+  int width;
+  int logic_pct;
+  int bram_pct;
+  int dsp_pct;
+};
+inline constexpr Tab2Row kTab2[] = {
+    {8, 37, 76, 14}, {16, 28, 42, 21}, {32, 27, 24, 11}, {64, 27, 15, 6}};
+
+// --- Section 5.2: headline join throughputs (Million tuples/s, 10 threads,
+// workload A, 8192 partitions).
+inline constexpr double kHybridJoinVrid = 406;
+inline constexpr double kCpuJoin = 436;
+
+// --- Section 7 context.
+inline constexpr double kRawPartitioningReported = 1597;
+inline constexpr double kEndToEndPartitioningReported = 514;
+
+}  // namespace paper
+}  // namespace fpart

@@ -1,0 +1,47 @@
+#include "qpi/bandwidth_model.h"
+
+#include <algorithm>
+#include <array>
+
+namespace fpart {
+namespace {
+
+// Anchor points at read fractions 0.0, 0.1, ..., 1.0. Values in GB/s.
+// FPGA-alone anchors reproduce the Section 4.8 look-ups under linear
+// interpolation; the remaining curves follow the shapes of Figure 2.
+constexpr std::array<double, 11> kFpgaAlone = {
+    4.6, 5.0, 5.4, 5.7, 6.4, 6.97, 7.03, 7.05, 6.9, 6.7, 6.5};
+constexpr std::array<double, 11> kCpuAlone = {
+    6.0, 8.0, 10.0, 12.0, 15.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0};
+// Concurrent access costs both agents a significant share (Section 2.1).
+constexpr std::array<double, 11> kFpgaInterfered = {
+    3.2, 3.5, 3.8, 4.0, 4.5, 4.9, 4.9, 4.9, 4.8, 4.7, 4.6};
+constexpr std::array<double, 11> kCpuInterfered = {
+    3.9, 5.2, 6.5, 7.8, 9.8, 11.7, 13.0, 14.3, 15.6, 16.9, 18.2};
+
+double Interpolate(const std::array<double, 11>& anchors, double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  double pos = x * 10.0;
+  int lo = static_cast<int>(pos);
+  if (lo >= 10) return anchors[10];
+  double frac = pos - lo;
+  return anchors[lo] + frac * (anchors[lo + 1] - anchors[lo]);
+}
+
+}  // namespace
+
+double MemoryBandwidthGBs(MemoryAgent agent, Interference interference,
+                          double read_fraction) {
+  const bool alone = interference == Interference::kAlone;
+  if (agent == MemoryAgent::kFpga) {
+    return Interpolate(alone ? kFpgaAlone : kFpgaInterfered, read_fraction);
+  }
+  return Interpolate(alone ? kCpuAlone : kCpuInterfered, read_fraction);
+}
+
+double QpiBandwidthForRatio(double r, Interference interference) {
+  double read_fraction = r / (r + 1.0);
+  return MemoryBandwidthGBs(MemoryAgent::kFpga, interference, read_fraction);
+}
+
+}  // namespace fpart

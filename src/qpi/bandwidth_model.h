@@ -1,0 +1,42 @@
+// Memory-bandwidth model of the Xeon+FPGA platform, calibrated to Figure 2
+// of the paper and to the Section 4.8 look-ups:
+//   B(r=2)   = 7.05 GB/s   (read fraction 2/3)
+//   B(r=1)   = 6.97 GB/s   (read fraction 1/2)
+//   B(r=0.5) = 5.94 GB/s   (read fraction 1/3)
+// The curves are piecewise-linear in the sequential-read fraction of the
+// total traffic (the x-axis of Figure 2).
+#pragma once
+
+#include <cstdint>
+
+namespace fpart {
+
+/// Which agent is issuing the memory traffic.
+enum class MemoryAgent { kCpu, kFpga };
+
+/// Whether the other socket is hammering memory at the same time
+/// (the "interfered" series of Figure 2).
+enum class Interference { kAlone, kInterfered };
+
+/// \brief Figure 2: achievable memory throughput (GB/s, combined read +
+/// write) as a function of the sequential-read share of the traffic.
+///
+/// \param read_fraction  bytes read sequentially / total bytes, in [0, 1].
+double MemoryBandwidthGBs(MemoryAgent agent, Interference interference,
+                          double read_fraction);
+
+/// Convenience: bandwidth for a read-to-write byte ratio r (Section 4.6,
+/// B(r)); read_fraction = r / (r + 1).
+double QpiBandwidthForRatio(double r,
+                            Interference interference = Interference::kAlone);
+
+/// The raw-FPGA wrapper of Section 4.7 emulates a link with 25.6 GB/s
+/// combined read+write bandwidth.
+inline constexpr double kRawWrapperBandwidthGBs = 25.6;
+
+/// FPGA clock of the Stratix V design.
+inline constexpr double kFpgaClockHz = 200e6;
+/// FPGA clock period (Table 3).
+inline constexpr double kFpgaClockPeriodSec = 1.0 / kFpgaClockHz;
+
+}  // namespace fpart

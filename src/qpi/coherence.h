@@ -1,0 +1,58 @@
+// Cache-coherence snoop penalty model (Section 2.2, Table 1).
+//
+// On the Xeon+FPGA prototype, cache lines last written by the FPGA are
+// marked in the CPU socket's snoop filter as owned by the FPGA socket.
+// Subsequent CPU reads snoop the FPGA's tiny 128 KB cache, almost always
+// miss, and pay the round trip. Measured effect (Table 1, 512 MB region):
+//
+//                    CPU reads sequentially   CPU reads randomly
+//   CPU wrote last        0.1381 s                 1.1537 s
+//   FPGA wrote last       0.1533 s                 2.4876 s
+//
+// i.e. a 1.11x penalty on sequential reads and a 2.16x penalty on random
+// reads. The hybrid join's build+probe phase reads FPGA-written partitions,
+// so its measured CPU time is scaled by these factors.
+#pragma once
+
+namespace fpart {
+
+/// Which socket last wrote a memory region.
+enum class LastWriter { kCpu, kFpga };
+
+/// \brief Multiplicative read-latency penalties from Table 1.
+struct CoherenceModel {
+  /// Table 1 baseline timings (seconds, 512 MB, single-threaded).
+  static constexpr double kCpuWroteSeqRead = 0.1381;
+  static constexpr double kCpuWroteRandRead = 1.1537;
+  static constexpr double kFpgaWroteSeqRead = 0.1533;
+  static constexpr double kFpgaWroteRandRead = 2.4876;
+
+  /// Penalty on sequential CPU reads of a region last written by `writer`.
+  static double SequentialReadFactor(LastWriter writer) {
+    return writer == LastWriter::kFpga ? kFpgaWroteSeqRead / kCpuWroteSeqRead
+                                       : 1.0;
+  }
+
+  /// Penalty on random CPU reads of a region last written by `writer`.
+  static double RandomReadFactor(LastWriter writer) {
+    return writer == LastWriter::kFpga ? kFpgaWroteRandRead / kCpuWroteRandRead
+                                       : 1.0;
+  }
+
+  /// Penalty applied to the *build* phase after partitioning by `writer`:
+  /// the build relation's partitions are scanned sequentially (Section 2.2).
+  static double BuildFactor(LastWriter writer) {
+    return SequentialReadFactor(writer);
+  }
+
+  /// Penalty applied to the *probe* phase: S partitions are scanned
+  /// sequentially while the bucket-chained build data is accessed randomly
+  /// with no prefetching. Both R and S partitions were written by `writer`;
+  /// the blend weights the two access patterns equally by bytes touched.
+  static double ProbeFactor(LastWriter writer) {
+    return 0.5 * SequentialReadFactor(writer) +
+           0.5 * RandomReadFactor(writer);
+  }
+};
+
+}  // namespace fpart

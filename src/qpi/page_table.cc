@@ -1,0 +1,31 @@
+#include "qpi/page_table.h"
+
+#include <string>
+
+namespace fpart {
+
+Status PageTable::Map(uint64_t vpn, uint64_t physical_page) {
+  if (vpn >= entries_.size()) {
+    return Status::OutOfRange("virtual page " + std::to_string(vpn) +
+                              " exceeds page-table capacity " +
+                              std::to_string(entries_.size()));
+  }
+  if (!valid_[vpn]) {
+    valid_[vpn] = true;
+    ++mapped_;
+  }
+  entries_.Write(vpn, physical_page);
+  return Status::OK();
+}
+
+Result<uint64_t> PageTable::Translate(uint64_t virtual_addr) const {
+  uint64_t vpn = virtual_addr >> kPageShift;
+  if (vpn >= entries_.size() || !valid_[vpn]) {
+    return Status::OutOfRange("unmapped virtual address " +
+                              std::to_string(virtual_addr));
+  }
+  return entries_.Peek(vpn) * kPageSizeBytes +
+         (virtual_addr & (kPageSizeBytes - 1));
+}
+
+}  // namespace fpart

@@ -1,0 +1,60 @@
+// The FPGA-side virtual-memory page table of Section 2.1.
+//
+// The standard Intel QPI end-point accepts only physical addresses, so the
+// AFU translates its virtual addresses with a BRAM-resident page table over
+// 4 MB pages. Translation takes 2 clock cycles but is pipelined, sustaining
+// one translation per cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/bram.h"
+
+namespace fpart {
+
+/// 4 MB pages, as handed out by the Intel-provided allocation API.
+inline constexpr uint64_t kPageSizeBytes = 4ull << 20;
+inline constexpr int kPageShift = 22;
+/// Pipelined translation latency in FPGA cycles.
+inline constexpr int kPageTableLatencyCycles = 2;
+
+/// \brief BRAM-backed VA→PA map for the FPGA's fixed-size address space.
+class PageTable {
+ public:
+  /// \param max_pages  capacity; sized so the whole 96 GB could be mapped.
+  explicit PageTable(size_t max_pages = 24576)
+      : entries_(max_pages, kPageTableLatencyCycles),
+        valid_(max_pages, false) {}
+
+  size_t max_pages() const { return entries_.size(); }
+  size_t mapped_pages() const { return mapped_; }
+
+  /// Populate the entry for virtual page `vpn` (done at start-up, when the
+  /// software transmits the physical addresses of its 4 MB pages).
+  Status Map(uint64_t vpn, uint64_t physical_page);
+
+  /// Immediate (functional) translation of a virtual byte address.
+  Result<uint64_t> Translate(uint64_t virtual_addr) const;
+
+  /// Clocked interface used by the cycle simulator: issue one translation
+  /// per cycle, result after kPageTableLatencyCycles ticks.
+  void IssueTranslate(uint64_t virtual_addr) {
+    pending_offset_ = virtual_addr & (kPageSizeBytes - 1);
+    entries_.IssueRead(virtual_addr >> kPageShift);
+  }
+  void Tick() { entries_.Tick(); }
+  bool translation_ready() const { return entries_.read_ready(); }
+  uint64_t translated_addr() const {
+    return entries_.read_data() * kPageSizeBytes + pending_offset_;
+  }
+
+ private:
+  Bram<uint64_t> entries_;
+  std::vector<bool> valid_;
+  size_t mapped_ = 0;
+  uint64_t pending_offset_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,60 @@
+#include "qpi/qpi_link.h"
+
+#include <algorithm>
+
+namespace fpart {
+
+QpiLink::QpiLink(double clock_hz, BandwidthCurve curve)
+    : clock_hz_(clock_hz), curve_(std::move(curve)) {
+  // Start from a balanced-mix estimate; recalibrated as traffic flows.
+  rate_ = curve_(0.5) * 1e9 / kCacheLineSize / clock_hz_;
+}
+
+QpiLink QpiLink::Fixed(double clock_hz, double gbs) {
+  return QpiLink(clock_hz, [gbs](double) { return gbs; });
+}
+
+QpiLink QpiLink::XeonFpga(double clock_hz, Interference interference) {
+  return QpiLink(clock_hz, [interference](double read_fraction) {
+    return MemoryBandwidthGBs(MemoryAgent::kFpga, interference, read_fraction);
+  });
+}
+
+void QpiLink::Tick() {
+  tokens_ = std::min(tokens_ + rate_, kMaxBurstTokens);
+  if (++cycles_in_window_ >= kWindowCycles) Recalibrate();
+}
+
+void QpiLink::Recalibrate() {
+  uint64_t total = window_reads_ + window_writes_;
+  if (total > 0) {
+    double read_fraction =
+        static_cast<double>(window_reads_) / static_cast<double>(total);
+    rate_ = curve_(read_fraction) * 1e9 / kCacheLineSize / clock_hz_;
+  }
+  window_reads_ = 0;
+  window_writes_ = 0;
+  cycles_in_window_ = 0;
+}
+
+bool QpiLink::Consume() {
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+bool QpiLink::TryRead() {
+  if (!Consume()) return false;
+  ++reads_granted_;
+  ++window_reads_;
+  return true;
+}
+
+bool QpiLink::TryWrite() {
+  if (!Consume()) return false;
+  ++writes_granted_;
+  ++window_writes_;
+  return true;
+}
+
+}  // namespace fpart

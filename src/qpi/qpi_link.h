@@ -1,0 +1,69 @@
+// Token-bucket model of the QPI end-point's bandwidth throttling.
+//
+// The AFU issues 64 B cache-line read and write requests; the link grants
+// them at a rate determined by the Figure 2 bandwidth curve for the
+// currently observed read/write mix. Requests that find no token are the
+// source of the back-pressure the paper describes in Section 4.3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/macros.h"
+#include "qpi/bandwidth_model.h"
+
+namespace fpart {
+
+/// \brief Cycle-granular bandwidth throttle for cache-line transfers.
+class QpiLink {
+ public:
+  /// Curve mapping the read fraction of traffic to GB/s.
+  using BandwidthCurve = std::function<double(double read_fraction)>;
+
+  /// \param clock_hz  the consumer's clock (tokens are per clock cycle)
+  /// \param curve     bandwidth as a function of read mix
+  QpiLink(double clock_hz, BandwidthCurve curve);
+
+  /// Fixed-bandwidth link (e.g. the 25.6 GB/s raw wrapper of Section 4.7).
+  static QpiLink Fixed(double clock_hz, double gbs);
+
+  /// QPI link of the Xeon+FPGA platform, following the Figure 2 curve.
+  static QpiLink XeonFpga(double clock_hz = kFpgaClockHz,
+                          Interference interference = Interference::kAlone);
+
+  /// Advance one clock cycle: accrue tokens, periodically re-estimate the
+  /// achievable bandwidth from the observed read/write mix.
+  void Tick();
+
+  /// Try to issue one cache-line read this cycle.
+  bool TryRead();
+  /// Try to issue one cache-line write this cycle.
+  bool TryWrite();
+
+  uint64_t reads_granted() const { return reads_granted_; }
+  uint64_t writes_granted() const { return writes_granted_; }
+  /// Total bytes transferred so far.
+  uint64_t bytes() const {
+    return (reads_granted_ + writes_granted_) * kCacheLineSize;
+  }
+  double current_rate_lines_per_cycle() const { return rate_; }
+
+ private:
+  bool Consume();
+  void Recalibrate();
+
+  double clock_hz_;
+  BandwidthCurve curve_;
+  double tokens_ = 0.0;
+  double rate_ = 0.0;  // cache lines per cycle
+  uint64_t reads_granted_ = 0;
+  uint64_t writes_granted_ = 0;
+  // Sliding recalibration window.
+  uint64_t window_reads_ = 0;
+  uint64_t window_writes_ = 0;
+  uint64_t cycles_in_window_ = 0;
+  static constexpr uint64_t kWindowCycles = 4096;
+  static constexpr double kMaxBurstTokens = 4.0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,45 @@
+#include "qpi/shared_memory.h"
+
+#include <string>
+
+namespace fpart {
+
+Result<SharedMemoryPool> SharedMemoryPool::Allocate(size_t num_pages,
+                                                    PageTable* page_table) {
+  if (num_pages == 0) {
+    return Status::InvalidArgument("need at least one 4 MB page");
+  }
+  SharedMemoryPool pool;
+  // Backing store spans the scattered physical pages.
+  uint64_t max_ppn = kPhysicalBasePage + (num_pages - 1) * kPhysicalStride;
+  FPART_ASSIGN_OR_RETURN(
+      pool.backing_, AlignedBuffer::Allocate((max_ppn + 1) * kPageSizeBytes));
+  pool.num_pages_ = num_pages;
+  pool.page_table_ = page_table;
+  for (size_t vpn = 0; vpn < num_pages; ++vpn) {
+    FPART_RETURN_NOT_OK(
+        page_table->Map(vpn, kPhysicalBasePage + vpn * kPhysicalStride));
+  }
+  return pool;
+}
+
+Result<const uint8_t*> SharedMemoryPool::FpgaRead(
+    uint64_t virtual_addr) const {
+  FPART_ASSIGN_OR_RETURN(uint64_t pa, page_table_->Translate(virtual_addr));
+  if (pa >= backing_.size()) {
+    return Status::OutOfRange("physical address " + std::to_string(pa) +
+                              " outside backing store");
+  }
+  return backing_.data() + pa;
+}
+
+Result<uint8_t*> SharedMemoryPool::FpgaWrite(uint64_t virtual_addr) {
+  FPART_ASSIGN_OR_RETURN(uint64_t pa, page_table_->Translate(virtual_addr));
+  if (pa >= backing_.size()) {
+    return Status::OutOfRange("physical address " + std::to_string(pa) +
+                              " outside backing store");
+  }
+  return backing_.data() + pa;
+}
+
+}  // namespace fpart

@@ -1,0 +1,85 @@
+// Block-RAM model with pipelined, fixed-latency reads.
+//
+// Altera BRAMs deliver read data a fixed number of cycles after the read is
+// issued, but accept one new read per cycle (fully pipelined). Read data is
+// captured at issue time ("old data" semantics): writes occurring in the
+// same or later cycles are not reflected in an in-flight read — which is
+// exactly why the paper's write combiner needs forwarding registers for the
+// fill-rate BRAM (Section 4.2, Code 4). When a module needs its own
+// same-cycle write to be visible (the 8-bank data read after the 8th tuple,
+// Section 4.2), it performs the Write before IssueRead within its cycle
+// function.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+/// \brief Fixed-latency, pipelined synchronous RAM.
+template <typename T>
+class Bram {
+ public:
+  /// \param size     number of addressable entries
+  /// \param latency  cycles between IssueRead and data delivery (>= 1)
+  explicit Bram(size_t size, int latency = 1)
+      : data_(size), latency_(latency < 1 ? 1 : latency) {}
+
+  size_t size() const { return data_.size(); }
+  int latency() const { return latency_; }
+
+  /// Combinational write: lands at the current cycle's clock edge.
+  void Write(size_t addr, const T& value) {
+    data_[addr] = value;
+    ++num_writes_;
+  }
+
+  /// Begin a pipelined read of `addr`; the value (as of this call) becomes
+  /// available via read_data() after `latency` Tick()s.
+  void IssueRead(size_t addr) {
+    in_flight_.push_back(Pending{data_[addr], 0});
+    ++num_reads_;
+  }
+
+  /// Advance one clock cycle: age in-flight reads, deliver at most one.
+  void Tick() {
+    read_ready_ = false;
+    for (auto& p : in_flight_) ++p.age;
+    if (!in_flight_.empty() && in_flight_.front().age >= latency_) {
+      delivered_ = in_flight_.front().value;
+      in_flight_.pop_front();
+      read_ready_ = true;
+    }
+  }
+
+  /// True if a read completed in the cycle of the last Tick().
+  bool read_ready() const { return read_ready_; }
+  /// Data of the read that completed (valid when read_ready()).
+  const T& read_data() const { return delivered_; }
+
+  /// Direct (non-clocked) access for testing and flush bookkeeping.
+  const T& Peek(size_t addr) const { return data_[addr]; }
+
+  size_t num_reads() const { return num_reads_; }
+  size_t num_writes() const { return num_writes_; }
+  size_t in_flight() const { return in_flight_.size(); }
+
+ private:
+  struct Pending {
+    T value;
+    int age;
+  };
+
+  std::vector<T> data_;
+  int latency_;
+  std::deque<Pending> in_flight_;
+  T delivered_{};
+  bool read_ready_ = false;
+  size_t num_reads_ = 0;
+  size_t num_writes_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,66 @@
+// Hardware FIFO model for the cycle-level circuit simulator.
+//
+// The partitioner circuit (Figure 5 of the paper) chains its modules with
+// FIFOs; back-pressure is realized by producers checking free_slots()
+// before pushing (Section 4.3: read requests are issued only when the
+// first-stage FIFOs have room, so no FIFO ever overflows).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+/// \brief Bounded FIFO with occupancy accounting.
+///
+/// Unlike a real FIFO this one reports an overflow instead of dropping
+/// data — the circuit is designed so that overflow is impossible, and the
+/// tests assert `overflowed()` stays false under adversarial inputs.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(size_t capacity) : capacity_(capacity) {}
+
+  /// Push a value; returns false (and records an overflow) if full.
+  bool Push(T value) {
+    if (queue_.size() >= capacity_) {
+      overflowed_ = true;
+      return false;
+    }
+    queue_.push_back(std::move(value));
+    if (queue_.size() > max_occupancy_) max_occupancy_ = queue_.size();
+    return true;
+  }
+
+  /// Pop the oldest value, or nullopt when empty.
+  std::optional<T> Pop() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  const T& Front() const { return queue_.front(); }
+
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= capacity_; }
+  size_t size() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+  size_t free_slots() const { return capacity_ - queue_.size(); }
+
+  /// True if any Push was ever rejected. The no-stall property of the
+  /// circuit implies this must never become true.
+  bool overflowed() const { return overflowed_; }
+  size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> queue_;
+  bool overflowed_ = false;
+  size_t max_occupancy_ = 0;
+};
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+// Cycle statistics collected by the circuit simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fpart {
+
+/// \brief Counters accumulated over one simulated partitioning run.
+struct CycleStats {
+  /// Total clock cycles simulated (both passes in HIST mode).
+  uint64_t cycles = 0;
+  /// Cycles in which the circuit accepted an input cache line.
+  uint64_t input_lines = 0;
+  /// Cache lines written back over QPI.
+  uint64_t output_lines = 0;
+  /// Cache lines read over QPI (relation scans, both passes).
+  uint64_t read_lines = 0;
+  /// Cycles in which the QPI link had no token for a pending request
+  /// (bandwidth back-pressure, Section 4.3).
+  uint64_t backpressure_cycles = 0;
+  /// Cycles in which an internal pipeline stage stalled. The paper's core
+  /// claim is a fully pipelined circuit: this must stay 0.
+  uint64_t internal_stall_cycles = 0;
+  /// Dummy (padding) tuples emitted by the flush (Section 4.2).
+  uint64_t dummy_tuples = 0;
+
+  /// Simulated wall time given the FPGA clock.
+  double Seconds(double clock_hz) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+
+  void Merge(const CycleStats& other) {
+    cycles += other.cycles;
+    input_lines += other.input_lines;
+    output_lines += other.output_lines;
+    read_lines += other.read_lines;
+    backpressure_cycles += other.backpressure_cycles;
+    internal_stall_cycles += other.internal_stall_cycles;
+    dummy_tuples += other.dummy_tuples;
+  }
+};
+
+}  // namespace fpart

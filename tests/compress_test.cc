@@ -1,0 +1,161 @@
+// Tests of the FOR codec and compressed-column partitioning (Section 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/for_codec.h"
+#include "fpga/partitioner.h"
+
+namespace fpart {
+namespace {
+
+std::vector<uint32_t> ClusteredKeys(size_t n, uint64_t seed,
+                                    uint32_t spread = 200) {
+  // Keys wander slowly: small deltas, highly compressible — typical of
+  // sorted or dictionary-encoded columns.
+  std::vector<uint32_t> keys(n);
+  Rng rng(seed);
+  uint32_t value = 1000;
+  for (size_t i = 0; i < n; ++i) {
+    value += static_cast<uint32_t>(rng.Below(spread));
+    keys[i] = value;
+  }
+  return keys;
+}
+
+TEST(ForCodecTest, RoundTripsClusteredKeys) {
+  auto keys = ClusteredKeys(100000, 3);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->num_keys(), keys.size());
+  EXPECT_EQ(column->DecompressAll(), keys);
+}
+
+TEST(ForCodecTest, RoundTripsRandomKeys) {
+  std::vector<uint32_t> keys(50000);
+  Rng rng(7);
+  for (auto& k : keys) k = rng.Next32();
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->DecompressAll(), keys);
+  // Incompressible data: ratio near (but not much below) 1 — a frame of
+  // 14 32-bit deltas per 64 B line is the floor.
+  EXPECT_GT(column->ratio(), 0.8);
+}
+
+TEST(ForCodecTest, CompressesClusteredKeysWell) {
+  auto keys = ClusteredKeys(100000, 5, /*spread=*/200);  // 8-bit deltas
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  EXPECT_GT(column->ratio(), 2.0);
+}
+
+TEST(ForCodecTest, ConstantColumnCompressesMaximally) {
+  std::vector<uint32_t> keys(12000, 42);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  // 120 keys per 64 B frame vs 16 uncompressed: ratio 7.5.
+  EXPECT_NEAR(column->ratio(), 7.5, 0.1);
+  EXPECT_EQ(column->DecompressAll(), keys);
+}
+
+TEST(ForCodecTest, EmptyColumn) {
+  auto column = CompressedColumn::Compress(nullptr, 0);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->num_frames(), 0u);
+  EXPECT_EQ(column->ratio(), 1.0);
+  EXPECT_TRUE(column->DecompressAll().empty());
+}
+
+TEST(ForCodecTest, FrameOffsetsArePrefixCounts) {
+  auto keys = ClusteredKeys(5000, 9);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  uint64_t expected = 0;
+  uint32_t scratch[kMaxKeysPerFrame];
+  for (size_t i = 0; i < column->num_frames(); ++i) {
+    EXPECT_EQ(column->frame_offset(i), expected);
+    expected += column->DecodeFrame(i, scratch);
+  }
+  EXPECT_EQ(expected, keys.size());
+}
+
+TEST(CompressedPartitionTest, MatchesVridPartitioning) {
+  // Partitioning a compressed column must produce exactly the same
+  // <key, vrid> tuples as partitioning the raw key column.
+  auto keys = ClusteredKeys(30000, 11);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+
+  FpgaPartitionerConfig config;
+  config.fanout = 64;
+  config.output_mode = OutputMode::kHist;
+
+  config.layout = LayoutMode::kVrid;
+  FpgaPartitioner<Tuple8> vrid(config);
+  auto vrid_run = vrid.PartitionColumn(keys.data(), keys.size());
+  ASSERT_TRUE(vrid_run.ok());
+
+  config.layout = LayoutMode::kCompressed;
+  FpgaPartitioner<Tuple8> compressed(config);
+  auto comp_run = compressed.PartitionCompressed(*column);
+  ASSERT_TRUE(comp_run.ok()) << comp_run.status().ToString();
+  EXPECT_EQ(comp_run->stats.internal_stall_cycles, 0u);
+
+  auto collect = [](const PartitionedOutput<Tuple8>& out, size_t p) {
+    std::vector<std::pair<uint32_t, uint32_t>> v;
+    const Tuple8* data = out.partition_data(p);
+    for (size_t i = 0; i < out.partition_slots(p); ++i) {
+      if (!IsDummy(data[i])) v.emplace_back(data[i].key, data[i].payload);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (size_t p = 0; p < config.fanout; ++p) {
+    ASSERT_EQ(collect(vrid_run->output, p), collect(comp_run->output, p))
+        << "partition " << p;
+  }
+}
+
+TEST(CompressedPartitionTest, ReadsShrinkByCompressionRatio) {
+  auto keys = ClusteredKeys(100000, 13, /*spread=*/100);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  ASSERT_GT(column->ratio(), 2.0);
+
+  FpgaPartitionerConfig config;
+  config.fanout = 256;
+  config.output_mode = OutputMode::kPad;
+  config.pad_fraction = 2.0;
+
+  config.layout = LayoutMode::kVrid;
+  FpgaPartitioner<Tuple8> vrid(config);
+  auto vrid_run = vrid.PartitionColumn(keys.data(), keys.size());
+  ASSERT_TRUE(vrid_run.ok());
+
+  config.layout = LayoutMode::kCompressed;
+  FpgaPartitioner<Tuple8> compressed(config);
+  auto comp_run = compressed.PartitionCompressed(*column);
+  ASSERT_TRUE(comp_run.ok());
+
+  EXPECT_EQ(comp_run->stats.read_lines, column->num_frames());
+  EXPECT_LT(comp_run->stats.read_lines, vrid_run->stats.read_lines);
+  // Fewer reads on the shared link: throughput can only improve.
+  EXPECT_GE(comp_run->mtuples_per_sec, vrid_run->mtuples_per_sec * 0.98);
+}
+
+TEST(CompressedPartitionTest, LayoutMismatchErrors) {
+  auto keys = ClusteredKeys(1000, 15);
+  auto column = CompressedColumn::Compress(keys.data(), keys.size());
+  ASSERT_TRUE(column.ok());
+  FpgaPartitionerConfig config;
+  config.fanout = 16;
+  config.layout = LayoutMode::kRid;
+  FpgaPartitioner<Tuple8> part(config);
+  EXPECT_FALSE(part.PartitionCompressed(*column).ok());
+}
+
+}  // namespace
+}  // namespace fpart

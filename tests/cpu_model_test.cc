@@ -1,0 +1,76 @@
+// Tests of the calibrated Xeon baseline model (Figures 4, 10, 11 shapes).
+#include <gtest/gtest.h>
+
+#include "model/cpu_model.h"
+
+namespace fpart {
+namespace {
+
+TEST(CpuModelTest, Figure4Anchors) {
+  // Single-thread: radix ≈ 150, hash ≈ 75 Mtuples/s.
+  EXPECT_NEAR(CpuCostModel::PartitionRateTuplesPerSec(1, HashMethod::kRadix),
+              150e6, 1e3);
+  EXPECT_NEAR(CpuCostModel::PartitionRateTuplesPerSec(1, HashMethod::kMurmur),
+              75e6, 1e3);
+  // 10 threads: both memory bound at ≈ 506.
+  EXPECT_NEAR(CpuCostModel::PartitionRateTuplesPerSec(10, HashMethod::kRadix),
+              506e6, 1e3);
+  EXPECT_NEAR(
+      CpuCostModel::PartitionRateTuplesPerSec(10, HashMethod::kMurmur),
+      506e6, 1e3);
+}
+
+TEST(CpuModelTest, HashCatchesUpWithThreads) {
+  // Figure 4's crossover: the hash/radix gap closes as threads increase.
+  double gap1 =
+      CpuCostModel::PartitionRateTuplesPerSec(1, HashMethod::kRadix) /
+      CpuCostModel::PartitionRateTuplesPerSec(1, HashMethod::kMurmur);
+  double gap10 =
+      CpuCostModel::PartitionRateTuplesPerSec(10, HashMethod::kRadix) /
+      CpuCostModel::PartitionRateTuplesPerSec(10, HashMethod::kMurmur);
+  EXPECT_NEAR(gap1, 2.0, 0.01);
+  EXPECT_NEAR(gap10, 1.0, 0.01);
+}
+
+TEST(CpuModelTest, ScalingIsMonotoneAndBounded) {
+  double prev = 0;
+  for (size_t t = 1; t <= 16; ++t) {
+    double rate = CpuCostModel::PartitionRateTuplesPerSec(t,
+                                                          HashMethod::kRadix);
+    EXPECT_GE(rate, prev);
+    EXPECT_LE(rate, CpuCostModel::kMemoryBoundRate);
+    prev = rate;
+  }
+}
+
+TEST(CpuModelTest, CachePenaltyShape) {
+  // 8192 partitions of a 128e6-tuple relation: 125 KB blocks — no penalty.
+  EXPECT_DOUBLE_EQ(CpuCostModel::CachePenalty(128000000, 8192), 1.0);
+  // 256 partitions: 4 MB blocks — five doublings over the 128 KB budget.
+  double p256 = CpuCostModel::CachePenalty(128000000, 256);
+  EXPECT_GT(p256, 1.5);
+  EXPECT_LT(p256, 1.8);
+  // Monotone in block size.
+  EXPECT_GT(CpuCostModel::CachePenalty(128000000, 256),
+            CpuCostModel::CachePenalty(128000000, 1024));
+}
+
+TEST(CpuModelTest, Figure10bJoinTimeAnchor) {
+  // 10-thread workload A at 8192 partitions: the paper's Figure 10b total
+  // is ≈ 0.85 s (partitioning ≈ 0.5 s + build+probe ≈ 0.35 s).
+  double seconds = CpuCostModel::JoinSeconds(128000000, 128000000, 8192, 10,
+                                             HashMethod::kRadix);
+  EXPECT_GT(seconds, 0.7);
+  EXPECT_LT(seconds, 1.0);
+}
+
+TEST(CpuModelTest, BuildProbeThreadScaling) {
+  double t1 = CpuCostModel::BuildProbeSeconds(256000000, 128000000, 8192, 1);
+  double t10 =
+      CpuCostModel::BuildProbeSeconds(256000000, 128000000, 8192, 10);
+  EXPECT_GT(t1 / t10, 4.0);  // saturates at 5x (750/150)
+  EXPECT_LT(t1 / t10, 5.5);
+}
+
+}  // namespace
+}  // namespace fpart

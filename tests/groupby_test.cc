@@ -1,0 +1,141 @@
+// Tests of the partitioned GROUP BY operator (the Section 6 use case).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/relation.h"
+#include "groupby/group_by.h"
+
+namespace fpart {
+namespace {
+
+// n tuples over `groups` distinct keys; payload = i so aggregates are
+// predictable.
+Relation<Tuple8> MakeGrouped(size_t n, uint32_t groups, uint64_t seed) {
+  auto rel = Relation<Tuple8>::Allocate(n);
+  EXPECT_TRUE(rel.ok());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    (*rel)[i] = Tuple8{static_cast<uint32_t>(1 + rng.Below(groups)),
+                       static_cast<uint32_t>(i)};
+  }
+  return std::move(*rel);
+}
+
+struct EngineParam {
+  Engine engine;
+  OutputMode mode;
+};
+
+class GroupByEngineTest : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(GroupByEngineTest, MatchesHashBaseline) {
+  auto rel = MakeGrouped(50000, 700, 3);
+  GroupByConfig config;
+  config.engine = GetParam().engine;
+  config.output_mode = GetParam().mode;
+  config.fanout = 64;
+  config.pad_fraction = 2.0;  // group keys cluster: pad generously
+  config.num_threads = 2;
+  auto part = PartitionedGroupBy(config, rel);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  auto reference = HashGroupBy(rel);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(part->groups.size(), reference->groups.size());
+  for (size_t i = 0; i < part->groups.size(); ++i) {
+    EXPECT_EQ(part->groups[i], reference->groups[i]) << "group " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, GroupByEngineTest,
+    ::testing::Values(EngineParam{Engine::kCpu, OutputMode::kHist},
+                      EngineParam{Engine::kFpgaSim, OutputMode::kHist},
+                      EngineParam{Engine::kFpgaSim, OutputMode::kPad}),
+    [](const auto& info) {
+      return std::string(info.param.engine == Engine::kCpu ? "cpu"
+                                                           : "fpga") +
+             std::string("_") + OutputModeName(info.param.mode);
+    });
+
+TEST(GroupByTest, AggregatesAreExact) {
+  // 3 keys with hand-computable aggregates.
+  auto rel = Relation<Tuple8>::Allocate(6);
+  ASSERT_TRUE(rel.ok());
+  (*rel)[0] = {10, 5};
+  (*rel)[1] = {20, 1};
+  (*rel)[2] = {10, 7};
+  (*rel)[3] = {30, 100};
+  (*rel)[4] = {10, 3};
+  (*rel)[5] = {20, 9};
+  GroupByConfig config;
+  config.engine = Engine::kFpgaSim;
+  config.fanout = 16;
+  auto out = PartitionedGroupBy(config, *rel);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->groups.size(), 3u);
+  EXPECT_EQ(out->groups[0], (GroupResult{10, 3, 15, 3, 7}));
+  EXPECT_EQ(out->groups[1], (GroupResult{20, 2, 10, 1, 9}));
+  EXPECT_EQ(out->groups[2], (GroupResult{30, 1, 100, 100, 100}));
+}
+
+TEST(GroupByTest, SingleGroup) {
+  auto rel = MakeGrouped(10000, 1, 5);
+  GroupByConfig config;
+  config.engine = Engine::kFpgaSim;
+  config.fanout = 16;
+  auto out = PartitionedGroupBy(config, rel);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->groups.size(), 1u);
+  EXPECT_EQ(out->groups[0].count, 10000u);
+  // payloads 0..9999: sum = n(n-1)/2.
+  EXPECT_EQ(out->groups[0].sum, 10000ull * 9999 / 2);
+  EXPECT_EQ(out->groups[0].min, 0u);
+  EXPECT_EQ(out->groups[0].max, 9999u);
+}
+
+TEST(GroupByTest, EveryKeyDistinct) {
+  auto rel = Relation<Tuple8>::Allocate(5000);
+  ASSERT_TRUE(rel.ok());
+  for (size_t i = 0; i < rel->size(); ++i) {
+    (*rel)[i] = Tuple8{static_cast<uint32_t>(i + 1),
+                       static_cast<uint32_t>(2 * i)};
+  }
+  GroupByConfig config;
+  config.engine = Engine::kCpu;
+  config.fanout = 128;
+  auto out = PartitionedGroupBy(config, *rel);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->groups.size(), 5000u);
+  for (size_t i = 0; i < out->groups.size(); ++i) {
+    EXPECT_EQ(out->groups[i].key, i + 1);
+    EXPECT_EQ(out->groups[i].count, 1u);
+  }
+}
+
+TEST(GroupByTest, CoherencePenaltyOnlyAfterFpga) {
+  auto rel = MakeGrouped(20000, 100, 7);
+  GroupByConfig config;
+  config.engine = Engine::kFpgaSim;
+  config.fanout = 64;
+  config.coherence_penalty = true;
+  auto with = PartitionedGroupBy(config, rel);
+  ASSERT_TRUE(with.ok());
+  EXPECT_GT(with->partition_seconds, 0.0);
+  EXPECT_GT(with->aggregate_seconds, 0.0);
+  EXPECT_NEAR(with->total_seconds,
+              with->partition_seconds + with->aggregate_seconds, 1e-12);
+}
+
+TEST(GroupByTest, TimingFieldsPopulated) {
+  auto rel = MakeGrouped(10000, 50, 9);
+  auto reference = HashGroupBy(rel);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(reference->partition_seconds, 0.0);
+  EXPECT_GT(reference->aggregate_seconds, 0.0);
+  EXPECT_EQ(reference->groups.size(), 50u);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,166 @@
+// Cross-module integration tests: the unified core API, CPU-vs-FPGA
+// partition equivalence, end-to-end hybrid pipelines on every workload,
+// and the shared-memory addressing contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/fpart.h"
+
+namespace fpart {
+namespace {
+
+TEST(EngineApiTest, CpuAndFpgaProduceSamePartitionMultisets) {
+  auto rel = GenerateUniqueRelation(30000, KeyDistribution::kRandom, 5);
+  ASSERT_TRUE(rel.ok());
+
+  PartitionRequest request;
+  request.fanout = 128;
+  request.hash = HashMethod::kMurmur;
+
+  request.engine = Engine::kCpu;
+  auto cpu = RunPartition(request, *rel);
+  ASSERT_TRUE(cpu.ok()) << cpu.status().ToString();
+
+  request.engine = Engine::kFpgaSim;
+  request.output_mode = OutputMode::kHist;
+  auto fpga = RunPartition(request, *rel);
+  ASSERT_TRUE(fpga.ok()) << fpga.status().ToString();
+
+  ASSERT_EQ(cpu->output.num_partitions(), fpga->output.num_partitions());
+  for (size_t p = 0; p < cpu->output.num_partitions(); ++p) {
+    ASSERT_EQ(cpu->output.part(p).num_tuples, fpga->output.part(p).num_tuples)
+        << p;
+    std::vector<uint32_t> a, b;
+    const Tuple8* cd = cpu->output.partition_data(p);
+    for (size_t i = 0; i < cpu->output.part(p).num_tuples; ++i) {
+      a.push_back(cd[i].key);
+    }
+    const Tuple8* fd = fpga->output.partition_data(p);
+    for (size_t i = 0; i < fpga->output.partition_slots(p); ++i) {
+      if (!IsDummy(fd[i])) b.push_back(fd[i].key);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "partition " << p;
+  }
+}
+
+TEST(EngineApiTest, ReportsEngineAndTiming) {
+  auto rel = GenerateUniqueRelation(4096, KeyDistribution::kLinear, 5);
+  ASSERT_TRUE(rel.ok());
+  PartitionRequest request;
+  request.fanout = 16;
+  request.engine = Engine::kFpgaSim;
+  auto report = RunPartition(request, *rel);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->engine, Engine::kFpgaSim);
+  EXPECT_GT(report->seconds, 0.0);
+  EXPECT_GT(report->mtuples_per_sec, 0.0);
+  EXPECT_GT(report->stats.cycles, 0u);
+  EXPECT_STREQ(EngineName(report->engine), "fpga-sim");
+  EXPECT_FALSE(Version().empty());
+}
+
+TEST(IntegrationTest, HybridAndCpuJoinAgreeOnEveryWorkload) {
+  for (WorkloadId id : {WorkloadId::kA, WorkloadId::kB, WorkloadId::kC,
+                        WorkloadId::kD, WorkloadId::kE}) {
+    double scale = id == WorkloadId::kB ? 2e-4 : 5e-5;
+    auto input = GenerateWorkload(GetWorkloadSpec(id, scale), 11);
+    ASSERT_TRUE(input.ok());
+
+    CpuJoinConfig cpu;
+    cpu.fanout = 64;
+    cpu.hash = HashMethod::kMurmur;
+    cpu.num_threads = 2;
+    auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
+    ASSERT_TRUE(cpu_result.ok());
+
+    HybridJoinConfig hybrid;
+    hybrid.fpga.fanout = 64;
+    hybrid.fpga.hash = HashMethod::kMurmur;
+    hybrid.num_threads = 2;
+    auto hybrid_result = HybridJoin(hybrid, input->r, input->s);
+    ASSERT_TRUE(hybrid_result.ok());
+
+    EXPECT_EQ(cpu_result->matches, hybrid_result->matches)
+        << "workload " << input->spec.name;
+    EXPECT_EQ(cpu_result->checksum, hybrid_result->checksum)
+        << "workload " << input->spec.name;
+    EXPECT_EQ(cpu_result->matches, input->s.size());
+  }
+}
+
+TEST(IntegrationTest, VridHybridJoinEqualsRidHybridJoin) {
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kA, 1e-4), 13);
+  ASSERT_TRUE(input.ok());
+  HybridJoinConfig config;
+  config.fpga.fanout = 64;
+  config.num_threads = 1;
+  config.fpga.layout = LayoutMode::kRid;
+  auto rid = HybridJoin(config, input->r, input->s);
+  ASSERT_TRUE(rid.ok());
+  config.fpga.layout = LayoutMode::kVrid;
+  auto vrid = HybridJoin(config, input->r, input->s);
+  ASSERT_TRUE(vrid.ok());
+  EXPECT_EQ(rid->matches, vrid->matches);
+}
+
+TEST(IntegrationTest, FpgaPartitioningThroughSharedMemoryPages) {
+  // End-to-end addressing contract: a relation staged in the 4 MB-page
+  // shared pool, addressed through the page table, partitions correctly.
+  PageTable page_table;
+  auto pool = SharedMemoryPool::Allocate(4, &page_table);
+  ASSERT_TRUE(pool.ok());
+  const size_t n = 100000;
+  // Host writes tuples into the shared virtual address space.
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t va = i * sizeof(Tuple8);
+    auto w = pool->FpgaWrite(va);  // same backing the host would use
+    ASSERT_TRUE(w.ok());
+    auto* t = reinterpret_cast<Tuple8*>(*w);
+    t->key = static_cast<uint32_t>(i * 2654435761u) & 0x7fffffffu;
+    t->payload = static_cast<uint32_t>(i);
+  }
+  // The AFU reads the relation through translation into a staging view.
+  std::vector<Tuple8> staged(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto r = pool->FpgaRead(i * sizeof(Tuple8));
+    ASSERT_TRUE(r.ok());
+    staged[i] = *reinterpret_cast<const Tuple8*>(*r);
+  }
+  FpgaPartitionerConfig config;
+  config.fanout = 32;
+  FpgaPartitioner<Tuple8> part(config);
+  auto run = part.Partition(staged.data(), n);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->output.total_tuples(), n);
+}
+
+TEST(IntegrationTest, CpuFallbackAfterPadOverflowMatchesCpuJoin) {
+  // The paper's PAD fallback alternative: give up on the FPGA and
+  // partition on the CPU.
+  WorkloadSpec spec = GetWorkloadSpec(WorkloadId::kA, 1e-4);
+  spec.zipf = 1.25;
+  auto input = GenerateWorkload(spec, 17);
+  ASSERT_TRUE(input.ok());
+
+  HybridJoinConfig hybrid;
+  hybrid.fpga.fanout = 64;
+  hybrid.fpga.output_mode = OutputMode::kPad;
+  hybrid.fpga.pad_fraction = 0.05;
+  auto attempt = HybridJoin(hybrid, input->r, input->s);
+  ASSERT_FALSE(attempt.ok());
+  ASSERT_TRUE(attempt.status().IsPartitionOverflow());
+
+  CpuJoinConfig cpu;
+  cpu.fanout = 64;
+  cpu.hash = HashMethod::kMurmur;
+  auto fallback = CpuRadixJoin(cpu, input->r, input->s);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback->matches, input->s.size());
+}
+
+}  // namespace
+}  // namespace fpart

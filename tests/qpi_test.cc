@@ -1,0 +1,193 @@
+// Unit tests for the platform models: Figure 2 bandwidth curves, the QPI
+// token-bucket link, the FPGA page table, the shared-memory pool, and the
+// Table 1 coherence model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "qpi/bandwidth_model.h"
+#include "qpi/coherence.h"
+#include "qpi/page_table.h"
+#include "qpi/qpi_link.h"
+#include "qpi/shared_memory.h"
+
+namespace fpart {
+namespace {
+
+TEST(BandwidthModelTest, Section48LookupsReproduce) {
+  // The calibration anchors of the cost model validation (Section 4.8).
+  EXPECT_NEAR(QpiBandwidthForRatio(2.0), 7.05, 0.05);
+  EXPECT_NEAR(QpiBandwidthForRatio(1.0), 6.97, 0.05);
+  EXPECT_NEAR(QpiBandwidthForRatio(0.5), 5.94, 0.05);
+}
+
+TEST(BandwidthModelTest, CpuHasMoreBandwidthThanFpga) {
+  // The paper: the FPGA has ~3x less memory bandwidth than the CPU.
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    EXPECT_GT(MemoryBandwidthGBs(MemoryAgent::kCpu, Interference::kAlone, f),
+              MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone, f));
+  }
+  EXPECT_GT(MemoryBandwidthGBs(MemoryAgent::kCpu, Interference::kAlone, 1.0) /
+                MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone,
+                                   1.0),
+            3.0);
+}
+
+TEST(BandwidthModelTest, InterferenceReducesBandwidth) {
+  for (double f = 0.0; f <= 1.0; f += 0.25) {
+    for (MemoryAgent agent : {MemoryAgent::kCpu, MemoryAgent::kFpga}) {
+      EXPECT_LT(MemoryBandwidthGBs(agent, Interference::kInterfered, f),
+                MemoryBandwidthGBs(agent, Interference::kAlone, f));
+    }
+  }
+}
+
+TEST(BandwidthModelTest, CpuBandwidthGrowsWithReadShare) {
+  // Figure 2: the CPU curve rises monotonically toward pure sequential
+  // reads.
+  double prev = 0;
+  for (double f = 0.0; f <= 1.001; f += 0.1) {
+    double b = MemoryBandwidthGBs(MemoryAgent::kCpu, Interference::kAlone, f);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(BandwidthModelTest, ClampsOutOfRangeFractions) {
+  EXPECT_DOUBLE_EQ(
+      MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone, -0.5),
+      MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone, 0.0));
+  EXPECT_DOUBLE_EQ(
+      MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone, 2.0),
+      MemoryBandwidthGBs(MemoryAgent::kFpga, Interference::kAlone, 1.0));
+}
+
+TEST(QpiLinkTest, FixedLinkGrantsAtConfiguredRate) {
+  // 12.8 GB/s at 200 MHz = exactly 1 cache line per cycle.
+  QpiLink link = QpiLink::Fixed(200e6, 12.8);
+  int grants = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    link.Tick();
+    if (link.TryWrite()) ++grants;
+  }
+  EXPECT_NEAR(grants, 1000, 5);
+}
+
+TEST(QpiLinkTest, ThrottlesBelowRate) {
+  // 6.4 GB/s = 0.5 lines/cycle: about half the requests are granted.
+  QpiLink link = QpiLink::Fixed(200e6, 6.4);
+  int grants = 0;
+  for (int cycle = 0; cycle < 10000; ++cycle) {
+    link.Tick();
+    if (link.TryRead()) ++grants;
+  }
+  EXPECT_NEAR(grants, 5000, 60);
+}
+
+TEST(QpiLinkTest, AccountsBytes) {
+  QpiLink link = QpiLink::Fixed(200e6, 12.8);
+  link.Tick();
+  ASSERT_TRUE(link.TryRead());
+  link.Tick();
+  ASSERT_TRUE(link.TryWrite());
+  EXPECT_EQ(link.reads_granted(), 1u);
+  EXPECT_EQ(link.writes_granted(), 1u);
+  EXPECT_EQ(link.bytes(), 128u);
+}
+
+TEST(QpiLinkTest, AdaptiveRateFollowsReadMix) {
+  // A pure-read workload on the Xeon+FPGA curve should converge to the
+  // read-heavy end of Figure 2 (~6.5 GB/s ⇒ ~0.51 lines/cycle).
+  QpiLink link = QpiLink::XeonFpga();
+  for (int cycle = 0; cycle < 50000; ++cycle) {
+    link.Tick();
+    link.TryRead();
+  }
+  double gbs = link.current_rate_lines_per_cycle() * 64 * 200e6 / 1e9;
+  EXPECT_NEAR(gbs, 6.5, 0.1);
+}
+
+TEST(PageTableTest, MapAndTranslate) {
+  PageTable pt(16);
+  ASSERT_TRUE(pt.Map(0, 3).ok());
+  ASSERT_TRUE(pt.Map(1, 5).ok());
+  auto pa = pt.Translate(kPageSizeBytes + 100);
+  ASSERT_TRUE(pa.ok());
+  EXPECT_EQ(*pa, 5 * kPageSizeBytes + 100);
+  EXPECT_EQ(pt.mapped_pages(), 2u);
+}
+
+TEST(PageTableTest, UnmappedAddressFails) {
+  PageTable pt(16);
+  ASSERT_TRUE(pt.Map(0, 3).ok());
+  EXPECT_FALSE(pt.Translate(2 * kPageSizeBytes).ok());
+}
+
+TEST(PageTableTest, RejectsOutOfRangeVpn) {
+  PageTable pt(4);
+  EXPECT_FALSE(pt.Map(4, 0).ok());
+}
+
+TEST(PageTableTest, PipelinedTranslationTakesTwoCycles) {
+  PageTable pt(16);
+  ASSERT_TRUE(pt.Map(2, 9).ok());
+  pt.IssueTranslate(2 * kPageSizeBytes + 64);
+  pt.Tick();
+  EXPECT_FALSE(pt.translation_ready());
+  pt.Tick();
+  ASSERT_TRUE(pt.translation_ready());
+  EXPECT_EQ(pt.translated_addr(), 9 * kPageSizeBytes + 64);
+}
+
+TEST(SharedMemoryTest, FpgaAccessGoesThroughTranslation) {
+  PageTable pt;
+  auto pool = SharedMemoryPool::Allocate(2, &pt);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->num_pages(), 2u);
+  EXPECT_EQ(pt.mapped_pages(), 2u);
+  // Write via the FPGA path, then verify against a direct translation.
+  uint64_t va = kPageSizeBytes + 4096;
+  auto w = pool->FpgaWrite(va);
+  ASSERT_TRUE(w.ok());
+  std::memset(*w, 0xAB, 64);
+  auto r = pool->FpgaRead(va);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], 0xAB);
+  // The model scatters physical pages, so identity translation would fail.
+  auto pa = pt.Translate(va);
+  ASSERT_TRUE(pa.ok());
+  EXPECT_NE(*pa, va);
+}
+
+TEST(SharedMemoryTest, UnmappedFpgaAccessFails) {
+  PageTable pt;
+  auto pool = SharedMemoryPool::Allocate(1, &pt);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_FALSE(pool->FpgaRead(5 * kPageSizeBytes).ok());
+}
+
+TEST(SharedMemoryTest, RejectsZeroPages) {
+  PageTable pt;
+  EXPECT_FALSE(SharedMemoryPool::Allocate(0, &pt).ok());
+}
+
+TEST(CoherenceTest, Table1Factors) {
+  // CPU-written memory reads at full speed.
+  EXPECT_DOUBLE_EQ(CoherenceModel::SequentialReadFactor(LastWriter::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(CoherenceModel::RandomReadFactor(LastWriter::kCpu), 1.0);
+  // FPGA-written memory pays the snoop penalty (Table 1 ratios).
+  EXPECT_NEAR(CoherenceModel::SequentialReadFactor(LastWriter::kFpga),
+              0.1533 / 0.1381, 1e-9);
+  EXPECT_NEAR(CoherenceModel::RandomReadFactor(LastWriter::kFpga),
+              2.4876 / 1.1537, 1e-9);
+}
+
+TEST(CoherenceTest, ProbePenaltyExceedsBuildPenalty) {
+  // Build scans sequentially; probe chases chains randomly (Section 2.2).
+  EXPECT_GT(CoherenceModel::ProbeFactor(LastWriter::kFpga),
+            CoherenceModel::BuildFactor(LastWriter::kFpga));
+  EXPECT_GT(CoherenceModel::BuildFactor(LastWriter::kFpga), 1.0);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,142 @@
+// Unit tests for the cycle-simulation kernel: Fifo and Bram semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/bram.h"
+#include "sim/fifo.h"
+#include "sim/stats.h"
+
+namespace fpart {
+namespace {
+
+TEST(FifoTest, FifoOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.Push(1));
+  EXPECT_TRUE(f.Push(2));
+  EXPECT_TRUE(f.Push(3));
+  EXPECT_EQ(*f.Pop(), 1);
+  EXPECT_EQ(*f.Pop(), 2);
+  EXPECT_EQ(*f.Pop(), 3);
+  EXPECT_FALSE(f.Pop().has_value());
+}
+
+TEST(FifoTest, CapacityAndOverflowTracking) {
+  Fifo<int> f(2);
+  EXPECT_TRUE(f.Push(1));
+  EXPECT_TRUE(f.Push(2));
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.free_slots(), 0u);
+  EXPECT_FALSE(f.overflowed());
+  EXPECT_FALSE(f.Push(3));  // rejected
+  EXPECT_TRUE(f.overflowed());
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FifoTest, MaxOccupancyHighWaterMark) {
+  Fifo<int> f(8);
+  f.Push(1);
+  f.Push(2);
+  f.Push(3);
+  f.Pop();
+  f.Pop();
+  f.Push(4);
+  EXPECT_EQ(f.max_occupancy(), 3u);
+}
+
+TEST(FifoTest, FrontPeeksWithoutPopping) {
+  Fifo<int> f(2);
+  f.Push(9);
+  EXPECT_EQ(f.Front(), 9);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(BramTest, ReadDeliversAfterLatency) {
+  Bram<int> bram(16, 2);
+  bram.Write(3, 42);
+  bram.IssueRead(3);
+  bram.Tick();
+  EXPECT_FALSE(bram.read_ready());  // age 1 < latency 2
+  bram.Tick();
+  ASSERT_TRUE(bram.read_ready());
+  EXPECT_EQ(bram.read_data(), 42);
+  bram.Tick();
+  EXPECT_FALSE(bram.read_ready());  // one-shot delivery
+}
+
+TEST(BramTest, ReadCapturesOldData) {
+  // The crux of the forwarding problem (Section 4.2): a read in flight does
+  // not observe writes issued after it.
+  Bram<int> bram(16, 2);
+  bram.Write(5, 1);
+  bram.IssueRead(5);
+  bram.Write(5, 99);  // lands after the read captured its value
+  bram.Tick();
+  bram.Tick();
+  ASSERT_TRUE(bram.read_ready());
+  EXPECT_EQ(bram.read_data(), 1);
+  EXPECT_EQ(bram.Peek(5), 99);
+}
+
+TEST(BramTest, WriteBeforeIssueIsVisible) {
+  // ...whereas ordering Write before IssueRead within the same cycle makes
+  // the write visible — used by the bank read after the closing tuple.
+  Bram<int> bram(16, 1);
+  bram.Write(7, 123);
+  bram.IssueRead(7);
+  bram.Tick();
+  ASSERT_TRUE(bram.read_ready());
+  EXPECT_EQ(bram.read_data(), 123);
+}
+
+TEST(BramTest, PipelinedBackToBackReads) {
+  Bram<int> bram(8, 2);
+  for (int i = 0; i < 8; ++i) bram.Write(i, 100 + i);
+  // Issue one read per cycle; deliveries arrive one per cycle, in order,
+  // each 2 cycles after its issue.
+  std::vector<int> delivered;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    bram.Tick();
+    if (bram.read_ready()) delivered.push_back(bram.read_data());
+    if (cycle < 8) bram.IssueRead(cycle);
+  }
+  // Reads issued at cycles 0..7 (after their Tick) deliver at 2..9.
+  ASSERT_EQ(delivered.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(delivered[i], 100 + i);
+}
+
+TEST(BramTest, CountsAccesses) {
+  Bram<int> bram(4, 1);
+  bram.Write(0, 1);
+  bram.Write(1, 2);
+  bram.IssueRead(0);
+  EXPECT_EQ(bram.num_writes(), 2u);
+  EXPECT_EQ(bram.num_reads(), 1u);
+  EXPECT_EQ(bram.in_flight(), 1u);
+}
+
+TEST(BramTest, MinimumLatencyIsOne) {
+  Bram<int> bram(4, 0);
+  EXPECT_EQ(bram.latency(), 1);
+}
+
+TEST(CycleStatsTest, SecondsFromCycles) {
+  CycleStats stats;
+  stats.cycles = 200;
+  EXPECT_DOUBLE_EQ(stats.Seconds(200e6), 1e-6);
+}
+
+TEST(CycleStatsTest, MergeAccumulates) {
+  CycleStats a, b;
+  a.cycles = 10;
+  a.output_lines = 2;
+  b.cycles = 5;
+  b.dummy_tuples = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.cycles, 15u);
+  EXPECT_EQ(a.output_lines, 2u);
+  EXPECT_EQ(a.dummy_tuples, 3u);
+}
+
+}  // namespace
+}  // namespace fpart

@@ -1,0 +1,84 @@
+// Tests of the sort-merge join baseline and its agreement with the radix
+// hash join.
+#include <gtest/gtest.h>
+
+#include "datagen/workloads.h"
+#include "join/radix_join.h"
+#include "join/sort_merge_join.h"
+
+namespace fpart {
+namespace {
+
+TEST(SortMergeJoinTest, MatchesRadixJoinOnEveryWorkload) {
+  for (WorkloadId id : {WorkloadId::kA, WorkloadId::kC, WorkloadId::kD}) {
+    auto input = GenerateWorkload(GetWorkloadSpec(id, 5e-5), 7);
+    ASSERT_TRUE(input.ok());
+    auto sm = SortMergeJoin(2, input->r, input->s);
+    ASSERT_TRUE(sm.ok());
+    CpuJoinConfig config;
+    config.fanout = 32;
+    config.hash = HashMethod::kMurmur;
+    auto radix = CpuRadixJoin(config, input->r, input->s);
+    ASSERT_TRUE(radix.ok());
+    EXPECT_EQ(sm->matches, radix->matches) << input->spec.name;
+    EXPECT_EQ(sm->checksum, radix->checksum) << input->spec.name;
+    EXPECT_EQ(sm->matches, input->s.size());
+  }
+}
+
+TEST(SortMergeJoinTest, CountsDuplicateCrossProducts) {
+  // R has key 5 twice, S has key 5 three times → 6 matches.
+  auto r = Relation<Tuple8>::Allocate(3);
+  auto s = Relation<Tuple8>::Allocate(4);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(s.ok());
+  (*r)[0] = {5, 1};
+  (*r)[1] = {9, 2};
+  (*r)[2] = {5, 3};
+  (*s)[0] = {5, 0};
+  (*s)[1] = {5, 0};
+  (*s)[2] = {7, 0};
+  (*s)[3] = {5, 0};
+  auto sm = SortMergeJoin(1, *r, *s);
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(sm->matches, 6u);
+  // checksum: (payload 1 + payload 3) × 3 S-tuples = 12.
+  EXPECT_EQ(sm->checksum, 12u);
+}
+
+TEST(SortMergeJoinTest, DisjointRelationsProduceNoMatches) {
+  auto r = Relation<Tuple8>::Allocate(100);
+  auto s = Relation<Tuple8>::Allocate(100);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(s.ok());
+  for (uint32_t i = 0; i < 100; ++i) {
+    (*r)[i] = {i * 2, i};        // even keys
+    (*s)[i] = {i * 2 + 1, i};    // odd keys
+  }
+  auto sm = SortMergeJoin(2, *r, *s);
+  ASSERT_TRUE(sm.ok());
+  EXPECT_EQ(sm->matches, 0u);
+}
+
+TEST(SortMergeJoinTest, ParallelAndSerialAgree) {
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kA, 2e-4), 9);
+  ASSERT_TRUE(input.ok());
+  auto serial = SortMergeJoin(1, input->r, input->s);
+  auto parallel = SortMergeJoin(4, input->r, input->s);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->matches, parallel->matches);
+  EXPECT_EQ(serial->checksum, parallel->checksum);
+}
+
+TEST(SortMergeJoinTest, OddThreadCountMergesCorrectly) {
+  // Exercises the leftover-run path of the pairwise merge tree.
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kC, 1e-4), 11);
+  ASSERT_TRUE(input.ok());
+  auto join = SortMergeJoin(3, input->r, input->s);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->matches, input->s.size());
+}
+
+}  // namespace
+}  // namespace fpart

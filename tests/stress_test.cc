@@ -1,0 +1,158 @@
+// Robustness and determinism stress tests: concurrency hammering on the
+// thread pool, randomized-operation property checks on the simulation
+// primitives, and golden values pinning cross-platform determinism of the
+// generators.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "datagen/distribution.h"
+#include "datagen/zipf.h"
+#include "sim/bram.h"
+#include "sim/fifo.h"
+
+namespace fpart {
+namespace {
+
+TEST(ThreadPoolStressTest, ManyWavesOfTasks) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i + 1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(sum.load(), 50ull * 64 * 65 / 2);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitters) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 200; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 800);
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForWaves) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> hits{0};
+    pool.ParallelFor(8, [&hits](size_t) { hits.fetch_add(1); });
+    ASSERT_EQ(hits.load(), 8);
+  }
+}
+
+TEST(FifoPropertyTest, RandomOpsMatchReferenceDeque) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    Fifo<int> fifo(1 + rng.Below(16));
+    std::deque<int> reference;
+    int next = 0;
+    for (int op = 0; op < 2000; ++op) {
+      if (rng.Below(2) == 0) {
+        bool pushed = fifo.Push(next);
+        if (reference.size() < fifo.capacity()) {
+          ASSERT_TRUE(pushed);
+          reference.push_back(next);
+        } else {
+          ASSERT_FALSE(pushed);
+        }
+        ++next;
+      } else {
+        auto popped = fifo.Pop();
+        if (reference.empty()) {
+          ASSERT_FALSE(popped.has_value());
+        } else {
+          ASSERT_TRUE(popped.has_value());
+          ASSERT_EQ(*popped, reference.front());
+          reference.pop_front();
+        }
+      }
+      ASSERT_EQ(fifo.size(), reference.size());
+      ASSERT_EQ(fifo.empty(), reference.empty());
+    }
+  }
+}
+
+TEST(BramPropertyTest, DeliveriesAreOrderedAndLatencyExact) {
+  // Random interleaving of reads, writes and idle cycles: every delivery
+  // must arrive exactly `latency` ticks after its issue, in issue order,
+  // with the value as of the issue cycle.
+  Rng rng(7);
+  for (int latency : {1, 2, 3}) {
+    Bram<int> bram(32, latency);
+    std::deque<std::pair<int, int>> expected;  // (due_tick, value)
+    std::vector<int> shadow(32, 0);
+    int tick = 0;
+    for (int op = 0; op < 3000; ++op) {
+      // Writes land immediately.
+      if (rng.Below(3) == 0) {
+        size_t addr = rng.Below(32);
+        int value = static_cast<int>(rng.Below(1 << 20));
+        bram.Write(addr, value);
+        shadow[addr] = value;
+      }
+      // At most one read issue per cycle (hardware port limit).
+      bool issued = rng.Below(2) == 0;
+      size_t addr = rng.Below(32);
+      if (issued) {
+        bram.IssueRead(addr);
+        expected.emplace_back(tick + latency, shadow[addr]);
+      }
+      bram.Tick();
+      ++tick;
+      if (!expected.empty() && expected.front().first <= tick) {
+        ASSERT_TRUE(bram.read_ready()) << "tick " << tick;
+        ASSERT_EQ(bram.read_data(), expected.front().second);
+        expected.pop_front();
+      } else {
+        ASSERT_FALSE(bram.read_ready());
+      }
+    }
+  }
+}
+
+// Golden values: the deterministic generators must produce identical
+// streams on every platform/build (benchmark comparability).
+TEST(GoldenTest, RngStream) {
+  Rng rng(12345);
+  EXPECT_EQ(rng.Next(), 13720838825685603483ull);
+  EXPECT_EQ(rng.Next(), 2398916695208396998ull);
+  rng = Rng(12345);
+  uint64_t sum = 0;
+  for (int i = 0; i < 1000; ++i) sum += rng.Next();
+  EXPECT_EQ(sum, 16100590852412677571ull);
+}
+
+TEST(GoldenTest, GridSequenceChecksum) {
+  KeyGenerator gen(KeyDistribution::kGrid);
+  uint64_t sum = 0;
+  for (int i = 0; i < 100000; ++i) sum += gen.Next();
+  KeyGenerator gen2(KeyDistribution::kGrid);
+  uint64_t sum2 = 0;
+  for (int i = 0; i < 100000; ++i) sum2 += gen2.Next();
+  EXPECT_EQ(sum, sum2);
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(GoldenTest, ZipfDeterministicAcrossInstances) {
+  ZipfSampler a(100000, 1.0, 99), b(100000, 1.0, 99);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace fpart

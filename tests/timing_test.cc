@@ -1,0 +1,124 @@
+// Consistency of the timing/throughput accounting across every API:
+// totals equal the sum of their phases, rates invert the times, and the
+// simulated clock arithmetic is exact.
+#include <gtest/gtest.h>
+
+#include "core/fpart.h"
+
+namespace fpart {
+namespace {
+
+JoinInput SmallInput(double scale = 1e-4, uint64_t seed = 7) {
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kA, scale), seed);
+  EXPECT_TRUE(input.ok());
+  return std::move(*input);
+}
+
+TEST(TimingTest, FpgaSecondsAreCyclesTimesClockPeriod) {
+  auto rel = GenerateUniqueRelation(20000, KeyDistribution::kRandom, 3);
+  ASSERT_TRUE(rel.ok());
+  FpgaPartitionerConfig config;
+  config.fanout = 64;
+  FpgaPartitioner<Tuple8> part(config);
+  auto run = part.Partition(rel->data(), rel->size());
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->seconds, run->stats.cycles * kFpgaClockPeriodSec);
+  EXPECT_NEAR(run->mtuples_per_sec,
+              rel->size() / run->seconds / 1e6, 1e-6);
+}
+
+TEST(TimingTest, JoinTotalsAreSumsOfPhases) {
+  JoinInput input = SmallInput();
+  CpuJoinConfig cpu;
+  cpu.fanout = 64;
+  auto cpu_result = CpuRadixJoin(cpu, input.r, input.s);
+  ASSERT_TRUE(cpu_result.ok());
+  EXPECT_NEAR(cpu_result->total_seconds,
+              cpu_result->partition_seconds + cpu_result->build_probe_seconds,
+              1e-12);
+
+  HybridJoinConfig hybrid;
+  hybrid.fpga.fanout = 64;
+  auto hybrid_result = HybridJoin(hybrid, input.r, input.s);
+  ASSERT_TRUE(hybrid_result.ok());
+  EXPECT_NEAR(hybrid_result->total_seconds,
+              hybrid_result->partition_seconds +
+                  hybrid_result->build_probe_seconds,
+              1e-12);
+}
+
+TEST(TimingTest, JoinThroughputInvertsTotal) {
+  JoinInput input = SmallInput();
+  CpuJoinConfig config;
+  config.fanout = 32;
+  auto result = CpuRadixJoin(config, input.r, input.s);
+  ASSERT_TRUE(result.ok());
+  double expected =
+      (input.r.size() + input.s.size()) / result->total_seconds / 1e6;
+  EXPECT_NEAR(result->mtuples_per_sec, expected, expected * 1e-9);
+}
+
+TEST(TimingTest, GroupByTotalsConsistent) {
+  auto rel = GenerateUniqueRelation(20000, KeyDistribution::kRandom, 5);
+  ASSERT_TRUE(rel.ok());
+  GroupByConfig config;
+  config.engine = Engine::kCpu;
+  config.fanout = 64;
+  auto out = PartitionedGroupBy(config, *rel);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->total_seconds,
+              out->partition_seconds + out->aggregate_seconds, 1e-12);
+}
+
+TEST(TimingTest, DistributedTotalsConsistent) {
+  JoinInput input = SmallInput(5e-5, 9);
+  DistributedJoinConfig config;
+  config.num_nodes = 2;
+  config.local_fanout = 32;
+  auto result = DistributedJoin(config, input.r, input.s);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_seconds,
+              result->partition_seconds + result->shuffle_seconds +
+                  result->local_join_seconds,
+              1e-12);
+}
+
+TEST(TimingTest, HybridPenaltyScalesOnlyBuildProbe) {
+  // With the penalty disabled, the hybrid's partition phase (simulated)
+  // must be identical across runs; only build+probe is host-measured.
+  JoinInput input = SmallInput(5e-5, 11);
+  HybridJoinConfig config;
+  config.fpga.fanout = 64;
+  config.coherence_penalty = false;
+  auto a = HybridJoin(config, input.r, input.s);
+  auto b = HybridJoin(config, input.r, input.s);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->partition_seconds, b->partition_seconds);
+}
+
+TEST(TimingTest, MaterializeJoinReportsGatherSeparately) {
+  const size_t n = 4096;
+  std::vector<uint32_t> keys(n), payloads(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(i + 1);
+    payloads[i] = static_cast<uint32_t>(i * 2);
+  }
+  FpgaPartitionerConfig config;
+  config.fanout = 16;
+  config.layout = LayoutMode::kVrid;
+  config.output_mode = OutputMode::kHist;
+  FpgaPartitioner<Tuple8> part(config);
+  auto pr = part.PartitionColumn(keys.data(), n);
+  ASSERT_TRUE(pr.ok());
+  MaterializedJoin join = MaterializeJoin(pr->output, pr->output, 1,
+                                          static_cast<const Tuple8*>(nullptr));
+  EXPECT_EQ(join.gather_seconds, 0.0);  // not gathered yet
+  GatherPayloads(payloads.data(), payloads.data(), &join);
+  EXPECT_GT(join.build_probe_seconds, 0.0);
+  EXPECT_GE(join.gather_seconds, 0.0);
+  EXPECT_EQ(join.rows.size(), n);  // self-join of unique keys
+}
+
+}  // namespace
+}  // namespace fpart
