@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_swwc.dir/ablation_swwc.cc.o"
+  "CMakeFiles/ablation_swwc.dir/ablation_swwc.cc.o.d"
+  "ablation_swwc"
+  "ablation_swwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_combiner.dir/ablation_write_combiner.cc.o"
+  "CMakeFiles/ablation_write_combiner.dir/ablation_write_combiner.cc.o.d"
+  "ablation_write_combiner"
+  "ablation_write_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_future_platforms.dir/ext_future_platforms.cc.o"
+  "CMakeFiles/ext_future_platforms.dir/ext_future_platforms.cc.o.d"
+  "ext_future_platforms"
+  "ext_future_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

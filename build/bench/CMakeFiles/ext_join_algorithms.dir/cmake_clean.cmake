@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_join_algorithms.dir/ext_join_algorithms.cc.o"
+  "CMakeFiles/ext_join_algorithms.dir/ext_join_algorithms.cc.o.d"
+  "ext_join_algorithms"
+  "ext_join_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_join_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

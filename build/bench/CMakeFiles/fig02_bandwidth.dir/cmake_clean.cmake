@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bandwidth.dir/fig02_bandwidth.cc.o"
+  "CMakeFiles/fig02_bandwidth.dir/fig02_bandwidth.cc.o.d"
+  "fig02_bandwidth"
+  "fig02_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

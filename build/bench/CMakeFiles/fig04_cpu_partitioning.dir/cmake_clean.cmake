@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cpu_partitioning.dir/fig04_cpu_partitioning.cc.o"
+  "CMakeFiles/fig04_cpu_partitioning.dir/fig04_cpu_partitioning.cc.o.d"
+  "fig04_cpu_partitioning"
+  "fig04_cpu_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cpu_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

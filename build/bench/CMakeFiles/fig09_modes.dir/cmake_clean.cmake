@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_modes.dir/fig09_modes.cc.o"
+  "CMakeFiles/fig09_modes.dir/fig09_modes.cc.o.d"
+  "fig09_modes"
+  "fig09_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_partitions.dir/fig10_partitions.cc.o"
+  "CMakeFiles/fig10_partitions.dir/fig10_partitions.cc.o.d"
+  "fig10_partitions"
+  "fig10_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

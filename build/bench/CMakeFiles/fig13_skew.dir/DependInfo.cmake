@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_skew.cc" "bench/CMakeFiles/fig13_skew.dir/fig13_skew.cc.o" "gcc" "bench/CMakeFiles/fig13_skew.dir/fig13_skew.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/groupby/CMakeFiles/fpart_groupby.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/fpart_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fpart_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fpart_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpi/CMakeFiles/fpart_qpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fpart_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_coherence.dir/tab01_coherence.cc.o"
+  "CMakeFiles/tab01_coherence.dir/tab01_coherence.cc.o.d"
+  "tab01_coherence"
+  "tab01_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

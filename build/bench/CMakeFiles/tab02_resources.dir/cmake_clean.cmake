@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_resources.dir/tab02_resources.cc.o"
+  "CMakeFiles/tab02_resources.dir/tab02_resources.cc.o.d"
+  "tab02_resources"
+  "tab02_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_pipeline.dir/analytics_pipeline.cpp.o"
+  "CMakeFiles/analytics_pipeline.dir/analytics_pipeline.cpp.o.d"
+  "analytics_pipeline"
+  "analytics_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_store_vrid.dir/column_store_vrid.cpp.o"
+  "CMakeFiles/column_store_vrid.dir/column_store_vrid.cpp.o.d"
+  "column_store_vrid"
+  "column_store_vrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_store_vrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

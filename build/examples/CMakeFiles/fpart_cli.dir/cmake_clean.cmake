@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_cli.dir/fpart_cli.cpp.o"
+  "CMakeFiles/fpart_cli.dir/fpart_cli.cpp.o.d"
+  "fpart_cli"
+  "fpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

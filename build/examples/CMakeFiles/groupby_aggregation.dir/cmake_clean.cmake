@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_aggregation.dir/groupby_aggregation.cpp.o"
+  "CMakeFiles/groupby_aggregation.dir/groupby_aggregation.cpp.o.d"
+  "groupby_aggregation"
+  "groupby_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_join_demo.dir/hybrid_join_demo.cpp.o"
+  "CMakeFiles/hybrid_join_demo.dir/hybrid_join_demo.cpp.o.d"
+  "hybrid_join_demo"
+  "hybrid_join_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_join_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_handling.dir/skew_handling.cpp.o"
+  "CMakeFiles/skew_handling.dir/skew_handling.cpp.o.d"
+  "skew_handling"
+  "skew_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

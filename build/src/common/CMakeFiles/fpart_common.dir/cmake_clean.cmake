@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_common.dir/aligned_buffer.cc.o"
+  "CMakeFiles/fpart_common.dir/aligned_buffer.cc.o.d"
+  "CMakeFiles/fpart_common.dir/env.cc.o"
+  "CMakeFiles/fpart_common.dir/env.cc.o.d"
+  "CMakeFiles/fpart_common.dir/status.cc.o"
+  "CMakeFiles/fpart_common.dir/status.cc.o.d"
+  "CMakeFiles/fpart_common.dir/thread_pool.cc.o"
+  "CMakeFiles/fpart_common.dir/thread_pool.cc.o.d"
+  "libfpart_common.a"
+  "libfpart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_compress.dir/for_codec.cc.o"
+  "CMakeFiles/fpart_compress.dir/for_codec.cc.o.d"
+  "libfpart_compress.a"
+  "libfpart_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

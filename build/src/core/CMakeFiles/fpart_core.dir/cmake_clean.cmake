@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_core.dir/engine.cc.o"
+  "CMakeFiles/fpart_core.dir/engine.cc.o.d"
+  "libfpart_core.a"
+  "libfpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/distribution.cc" "src/datagen/CMakeFiles/fpart_datagen.dir/distribution.cc.o" "gcc" "src/datagen/CMakeFiles/fpart_datagen.dir/distribution.cc.o.d"
+  "/root/repo/src/datagen/workloads.cc" "src/datagen/CMakeFiles/fpart_datagen.dir/workloads.cc.o" "gcc" "src/datagen/CMakeFiles/fpart_datagen.dir/workloads.cc.o.d"
+  "/root/repo/src/datagen/zipf.cc" "src/datagen/CMakeFiles/fpart_datagen.dir/zipf.cc.o" "gcc" "src/datagen/CMakeFiles/fpart_datagen.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fpart_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

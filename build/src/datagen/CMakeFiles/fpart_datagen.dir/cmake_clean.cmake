@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_datagen.dir/distribution.cc.o"
+  "CMakeFiles/fpart_datagen.dir/distribution.cc.o.d"
+  "CMakeFiles/fpart_datagen.dir/workloads.cc.o"
+  "CMakeFiles/fpart_datagen.dir/workloads.cc.o.d"
+  "CMakeFiles/fpart_datagen.dir/zipf.cc.o"
+  "CMakeFiles/fpart_datagen.dir/zipf.cc.o.d"
+  "libfpart_datagen.a"
+  "libfpart_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/config.cc" "src/fpga/CMakeFiles/fpart_fpga.dir/config.cc.o" "gcc" "src/fpga/CMakeFiles/fpart_fpga.dir/config.cc.o.d"
+  "/root/repo/src/fpga/resource_model.cc" "src/fpga/CMakeFiles/fpart_fpga.dir/resource_model.cc.o" "gcc" "src/fpga/CMakeFiles/fpart_fpga.dir/resource_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpart_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/fpart_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fpart_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/fpart_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/qpi/CMakeFiles/fpart_qpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

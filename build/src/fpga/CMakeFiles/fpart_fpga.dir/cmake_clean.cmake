@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_fpga.dir/config.cc.o"
+  "CMakeFiles/fpart_fpga.dir/config.cc.o.d"
+  "CMakeFiles/fpart_fpga.dir/resource_model.cc.o"
+  "CMakeFiles/fpart_fpga.dir/resource_model.cc.o.d"
+  "libfpart_fpga.a"
+  "libfpart_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

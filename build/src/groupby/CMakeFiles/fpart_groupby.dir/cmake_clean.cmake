@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_groupby.dir/group_by.cc.o"
+  "CMakeFiles/fpart_groupby.dir/group_by.cc.o.d"
+  "libfpart_groupby.a"
+  "libfpart_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

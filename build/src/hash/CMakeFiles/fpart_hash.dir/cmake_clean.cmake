@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_hash.dir/hash_function.cc.o"
+  "CMakeFiles/fpart_hash.dir/hash_function.cc.o.d"
+  "libfpart_hash.a"
+  "libfpart_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qpi/bandwidth_model.cc" "src/qpi/CMakeFiles/fpart_qpi.dir/bandwidth_model.cc.o" "gcc" "src/qpi/CMakeFiles/fpart_qpi.dir/bandwidth_model.cc.o.d"
+  "/root/repo/src/qpi/page_table.cc" "src/qpi/CMakeFiles/fpart_qpi.dir/page_table.cc.o" "gcc" "src/qpi/CMakeFiles/fpart_qpi.dir/page_table.cc.o.d"
+  "/root/repo/src/qpi/qpi_link.cc" "src/qpi/CMakeFiles/fpart_qpi.dir/qpi_link.cc.o" "gcc" "src/qpi/CMakeFiles/fpart_qpi.dir/qpi_link.cc.o.d"
+  "/root/repo/src/qpi/shared_memory.cc" "src/qpi/CMakeFiles/fpart_qpi.dir/shared_memory.cc.o" "gcc" "src/qpi/CMakeFiles/fpart_qpi.dir/shared_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpart_qpi.dir/bandwidth_model.cc.o"
+  "CMakeFiles/fpart_qpi.dir/bandwidth_model.cc.o.d"
+  "CMakeFiles/fpart_qpi.dir/page_table.cc.o"
+  "CMakeFiles/fpart_qpi.dir/page_table.cc.o.d"
+  "CMakeFiles/fpart_qpi.dir/qpi_link.cc.o"
+  "CMakeFiles/fpart_qpi.dir/qpi_link.cc.o.d"
+  "CMakeFiles/fpart_qpi.dir/shared_memory.cc.o"
+  "CMakeFiles/fpart_qpi.dir/shared_memory.cc.o.d"
+  "libfpart_qpi.a"
+  "libfpart_qpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpart_qpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_model_test.dir/cpu_model_test.cc.o"
+  "CMakeFiles/cpu_model_test.dir/cpu_model_test.cc.o.d"
+  "cpu_model_test"
+  "cpu_model_test.pdb"
+  "cpu_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_partitioner_test.dir/cpu_partitioner_test.cc.o"
+  "CMakeFiles/cpu_partitioner_test.dir/cpu_partitioner_test.cc.o.d"
+  "cpu_partitioner_test"
+  "cpu_partitioner_test.pdb"
+  "cpu_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_partitioner_test.dir/fpga_partitioner_test.cc.o"
+  "CMakeFiles/fpga_partitioner_test.dir/fpga_partitioner_test.cc.o.d"
+  "fpga_partitioner_test"
+  "fpga_partitioner_test.pdb"
+  "fpga_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

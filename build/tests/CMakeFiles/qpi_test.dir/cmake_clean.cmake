@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qpi_test.dir/qpi_test.cc.o"
+  "CMakeFiles/qpi_test.dir/qpi_test.cc.o.d"
+  "qpi_test"
+  "qpi_test.pdb"
+  "qpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_tuple_test.dir/wide_tuple_test.cc.o"
+  "CMakeFiles/wide_tuple_test.dir/wide_tuple_test.cc.o.d"
+  "wide_tuple_test"
+  "wide_tuple_test.pdb"
+  "wide_tuple_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_back_test.dir/write_back_test.cc.o"
+  "CMakeFiles/write_back_test.dir/write_back_test.cc.o.d"
+  "write_back_test"
+  "write_back_test.pdb"
+  "write_back_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_back_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

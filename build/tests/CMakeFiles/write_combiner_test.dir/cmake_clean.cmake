@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_combiner_test.dir/write_combiner_test.cc.o"
+  "CMakeFiles/write_combiner_test.dir/write_combiner_test.cc.o.d"
+  "write_combiner_test"
+  "write_combiner_test.pdb"
+  "write_combiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_combiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

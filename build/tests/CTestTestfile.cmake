@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/qpi_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_lane_test[1]_include.cmake")
+include("/root/repo/build/tests/write_combiner_test[1]_include.cmake")
+include("/root/repo/build/tests/write_back_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_partitioner_test[1]_include.cmake")
+include("/root/repo/build/tests/range_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/sort_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/materialize_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/wide_tuple_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/groupby_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_model_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
