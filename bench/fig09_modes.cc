@@ -66,10 +66,12 @@ int Run() {
            LinkKind::kXeonFpga, paper::kFig9PadVrid);
 
   {
+    ThreadPool pool(BenchMaxThreads());
     CpuPartitionerConfig config;
     config.fanout = fanout;
     config.hash = HashMethod::kRadix;
     config.num_threads = BenchMaxThreads();
+    config.pool = &pool;
     auto result = CpuPartition(config, rel->data(), n);
     rows.push_back({"CPU (10 cores)",
                     result.ok() ? result->mtuples_per_sec : -1,

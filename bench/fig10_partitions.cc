@@ -22,6 +22,9 @@ int Run() {
   const uint64_t total = input->r.size() + input->s.size();
   const size_t host_max = BenchMaxThreads();
   const uint32_t parts[] = {256, 512, 1024, 2048, 4096, 8192};
+  // One worker pool for the whole sweep; per-iteration pool construction
+  // used to dominate the short single-threaded runs.
+  ThreadPool pool(host_max);
 
   bool first_pass = true;
   for (size_t threads : {size_t{1}, host_max}) {
@@ -39,12 +42,14 @@ int Run() {
       CpuJoinConfig cpu;
       cpu.fanout = fanout;
       cpu.num_threads = threads;
+      cpu.pool = &pool;
       auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
 
       HybridJoinConfig hybrid;
       hybrid.fpga.fanout = fanout;
       hybrid.fpga.output_mode = OutputMode::kPad;
       hybrid.num_threads = threads;
+      hybrid.pool = &pool;
       auto hybrid_result = HybridJoin(hybrid, input->r, input->s);
 
       FpgaCostModel fpga_model(8, fanout);

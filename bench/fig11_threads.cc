@@ -11,7 +11,8 @@
 namespace fpart {
 namespace {
 
-void RunWorkload(WorkloadId id, double scale, size_t host_max) {
+void RunWorkload(WorkloadId id, double scale, size_t host_max,
+                 ThreadPool* pool) {
   auto input = GenerateWorkload(GetWorkloadSpec(id, scale), 7);
   if (!input.ok()) {
     std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
@@ -29,6 +30,7 @@ void RunWorkload(WorkloadId id, double scale, size_t host_max) {
     config.fpga.output_mode = OutputMode::kPad;
     config.fpga.layout = layout;
     config.num_threads = threads;
+    config.pool = pool;
     return HybridJoin(config, input->r, input->s);
   };
 
@@ -47,6 +49,7 @@ void RunWorkload(WorkloadId id, double scale, size_t host_max) {
     CpuJoinConfig cpu;
     cpu.fanout = fanout;
     cpu.num_threads = threads;
+    cpu.pool = pool;
     auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
     auto rid = hybrid_once(LayoutMode::kRid, threads);
     auto vrid = hybrid_once(LayoutMode::kVrid, threads);
@@ -70,8 +73,11 @@ int Run() {
   bench::Banner("fig11_threads", "Figure 11a/11b");
   const double scale = BenchScale() / 8.0;
   const size_t host_max = BenchMaxThreads();
-  RunWorkload(WorkloadId::kA, scale, host_max);
-  RunWorkload(WorkloadId::kB, scale, host_max);
+  // Shared across both workloads and every thread count; ParallelFor(n)
+  // with n below the pool size simply leaves workers idle.
+  ThreadPool pool(host_max);
+  RunWorkload(WorkloadId::kA, scale, host_max, &pool);
+  RunWorkload(WorkloadId::kB, scale, host_max, &pool);
   std::printf(
       "Expected shape (paper): VRID partitions fastest (half the reads); "
       "with 10\nthreads the CPU join edges out the hybrid because "

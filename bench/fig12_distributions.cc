@@ -10,7 +10,8 @@
 namespace fpart {
 namespace {
 
-void RunWorkload(WorkloadId id, double scale, size_t threads) {
+void RunWorkload(WorkloadId id, double scale, size_t threads,
+                 ThreadPool* pool) {
   auto input = GenerateWorkload(GetWorkloadSpec(id, scale), 7);
   if (!input.ok()) return;
   std::printf("--- Workload %s (%s keys), %zu-threaded\n", input->spec.name,
@@ -21,6 +22,7 @@ void RunWorkload(WorkloadId id, double scale, size_t threads) {
   CpuJoinConfig cpu;
   cpu.fanout = 8192;
   cpu.num_threads = threads;
+  cpu.pool = pool;
 
   cpu.hash = HashMethod::kRadix;
   auto radix = CpuRadixJoin(cpu, input->r, input->s);
@@ -43,6 +45,7 @@ void RunWorkload(WorkloadId id, double scale, size_t threads) {
   hybrid.fpga.output_mode = OutputMode::kPad;
   hybrid.fpga.hash = HashMethod::kMurmur;
   hybrid.num_threads = threads;
+  hybrid.pool = pool;
   auto fpga = HybridJoin(hybrid, input->r, input->s);
   if (fpga.ok()) {
     std::printf("%-24s | %9.3f %9.3f %9.3f\n", "FPGA (PAD/RID) hash",
@@ -67,9 +70,10 @@ int Run() {
   bench::Banner("fig12_distributions", "Figure 12a/12b/12c");
   const double scale = BenchScale() / 8.0;
   const size_t threads = BenchMaxThreads();
-  RunWorkload(WorkloadId::kC, scale, threads);
-  RunWorkload(WorkloadId::kD, scale, threads);
-  RunWorkload(WorkloadId::kE, scale, threads);
+  ThreadPool pool(threads);
+  RunWorkload(WorkloadId::kC, scale, threads, &pool);
+  RunWorkload(WorkloadId::kD, scale, threads, &pool);
+  RunWorkload(WorkloadId::kE, scale, threads, &pool);
   std::printf(
       "Expected shape (paper): for the grid distributions radix "
       "partitioning leaves\npartitions unbalanced, slowing build+probe; "

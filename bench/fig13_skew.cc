@@ -15,6 +15,7 @@ int Run() {
   const double scale = BenchScale() / 8.0;
   const size_t threads = BenchMaxThreads();
   const uint32_t fanout = 8192;
+  ThreadPool pool(threads);
 
   std::printf("%6s | %9s %9s %9s | %9s %9s %9s | %9s | %5s\n", "zipf",
               "CPU part", "CPU b+p", "CPU tot", "FPGA part", "hyb b+p",
@@ -29,6 +30,7 @@ int Run() {
     CpuJoinConfig cpu;
     cpu.fanout = fanout;
     cpu.num_threads = threads;
+    cpu.pool = &pool;
     auto cpu_result = CpuRadixJoin(cpu, input->r, input->s);
 
     // Does PAD survive this skew? (Paper: fails for z > 0.25.)
@@ -41,6 +43,7 @@ int Run() {
     HybridJoinConfig hist = pad;
     hist.fpga.output_mode = OutputMode::kHist;
     hist.num_threads = threads;
+    hist.pool = &pool;
     auto hybrid_result = HybridJoin(hist, input->r, input->s);
 
     double fpga_pred =

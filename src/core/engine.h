@@ -40,10 +40,17 @@ struct PartitionRequest {
   LayoutMode layout = LayoutMode::kRid;
   LinkKind link = LinkKind::kXeonFpga;
   double pad_fraction = 0.5;
+  /// FPGA only: host-side execution engine of the cycle simulator (the
+  /// batched fast path or the per-module reference loop; identical
+  /// results either way).
+  SimMode sim_mode = SimMode::kFast;
   /// CPU only.
   size_t num_threads = 1;
   bool use_buffers = true;
   bool non_temporal = true;
+  /// CPU only: shared worker pool (a private one is created when null and
+  /// num_threads > 1).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Device-independent partitioning outcome.
@@ -72,6 +79,7 @@ Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
     config.num_threads = request.num_threads;
     config.use_buffers = request.use_buffers;
     config.non_temporal = request.non_temporal;
+    config.pool = request.pool;
     FPART_ASSIGN_OR_RETURN(
         CpuRunResult<T> r,
         CpuPartition(config, relation.data(), relation.size()));
@@ -88,6 +96,7 @@ Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
   config.layout = LayoutMode::kRid;
   config.link = request.link;
   config.pad_fraction = request.pad_fraction;
+  config.sim_mode = request.sim_mode;
   FpgaPartitioner<T> partitioner(config);
   FPART_ASSIGN_OR_RETURN(FpgaRunResult<T> r,
                          partitioner.Partition(relation.data(),

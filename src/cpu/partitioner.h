@@ -139,13 +139,26 @@ void Scatter(const PartitionFn& fn, const T* tuples, size_t begin, size_t end,
     }
     buffers[p].slots[fill[p]] = tuples[i];
     if (++fill[p] == kK) {
-      // A full line: stream it to its destination. Destinations are only
-      // guaranteed line-aligned when the cursor itself is aligned (start
-      // of a partition run), so FlushLine falls back to memcpy otherwise.
-      internal::FlushLine(out_base + dst[p], buffers[p].slots,
-                          config.non_temporal);
-      dst[p] += kK;
-      fill[p] = 0;
+      const uint32_t misalign = static_cast<uint32_t>(dst[p] & (kK - 1));
+      if (misalign != 0) {
+        // Per-thread cursors start mid-line for every thread but the
+        // first (the prefix sum hands each thread a tuple-granular
+        // range). Write the head tuples plainly until the cursor reaches
+        // a line boundary — once per (thread, partition) run — so every
+        // subsequent full flush is aligned and streams.
+        const uint32_t head = kK - misalign;
+        std::memcpy(out_base + dst[p], buffers[p].slots, head * sizeof(T));
+        std::memmove(buffers[p].slots, buffers[p].slots + head,
+                     misalign * sizeof(T));
+        dst[p] += head;
+        fill[p] = static_cast<uint8_t>(misalign);
+      } else {
+        // A full line at an aligned cursor: stream it to its destination.
+        internal::FlushLine(out_base + dst[p], buffers[p].slots,
+                            config.non_temporal);
+        dst[p] += kK;
+        fill[p] = 0;
+      }
     }
   }
   // Drain partial buffers.

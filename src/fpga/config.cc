@@ -18,4 +18,8 @@ const char* LayoutModeName(LayoutMode mode) {
   return "unknown";
 }
 
+const char* SimModeName(SimMode mode) {
+  return mode == SimMode::kReference ? "reference" : "fast";
+}
+
 }  // namespace fpart

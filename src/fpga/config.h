@@ -40,8 +40,22 @@ enum class LinkKind {
   kRawWrapper,
 };
 
+/// Which host-side execution engine advances the simulated circuit.
+/// Both engines implement the same per-cycle semantics; they produce
+/// bit-identical output bytes and identical CycleStats (asserted by
+/// tests/sim_fastpath_test.cc).
+enum class SimMode {
+  /// Per-module Tick() loop, the clearest transcription of the VHDL.
+  kReference,
+  /// Flat ring-buffer engine advancing steady-state windows in batched
+  /// inner loops (see src/fpga/fast_engine.h). Several times faster on
+  /// the host; cycle counts stay exact.
+  kFast,
+};
+
 const char* OutputModeName(OutputMode mode);
 const char* LayoutModeName(LayoutMode mode);
+const char* SimModeName(SimMode mode);
 
 /// \brief Knobs of the partitioner circuit.
 struct FpgaPartitionerConfig {
@@ -60,6 +74,10 @@ struct FpgaPartitionerConfig {
   LinkKind link = LinkKind::kXeonFpga;
   /// Model concurrent CPU traffic (the interfered curves of Figure 2).
   Interference interference = Interference::kAlone;
+  /// Host execution engine. kFast is the default; kReference remains the
+  /// executable specification the fast engine is differentially tested
+  /// against.
+  SimMode sim_mode = SimMode::kFast;
 
   /// Depth of the per-lane FIFO between hash module and write combiner.
   /// Read requests are issued only when every lane FIFO has room for the

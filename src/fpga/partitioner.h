@@ -28,7 +28,9 @@
 #include "datagen/partitioned_output.h"
 #include "datagen/tuple.h"
 #include "fpga/config.h"
+#include "fpga/fast_engine.h"
 #include "fpga/hash_lane.h"
+#include "fpga/staging.h"
 #include "fpga/write_back.h"
 #include "fpga/write_combiner.h"
 #include "hash/hash_function.h"
@@ -114,11 +116,7 @@ class FpgaPartitioner {
   }
 
  private:
-  /// One group of up to K tuples entering the hash lanes in one cycle.
-  struct Group {
-    std::array<T, K> tuples;
-    uint8_t count = 0;
-  };
+  using Group = TupleGroup<T>;
 
   Status Validate() const {
     if (!IsPowerOfTwo(config_.fanout) ||
@@ -147,96 +145,19 @@ class FpgaPartitioner {
     return QpiLink::XeonFpga(kFpgaClockHz, config_.interference);
   }
 
-  /// Cache-line reads required to scan the input once.
-  size_t TotalReads(size_t n) const {
-    if (config_.layout == LayoutMode::kCompressed) {
-      return in_column_->num_frames();
-    }
-    if (config_.layout == LayoutMode::kVrid) {
-      return (n + kKeysPerCacheLine - 1) / kKeysPerCacheLine;
-    }
-    return (n + K - 1) / K;
-  }
-
-  /// Tuple groups produced by one granted cache-line read: the VRID key
-  /// line expands into multiple tuple lines inside the circuit.
-  size_t GroupsPerRead() const {
-    switch (config_.layout) {
-      case LayoutMode::kVrid:
-        return static_cast<size_t>(kKeysPerCacheLine / K);
-      case LayoutMode::kCompressed:
-        // Variable per frame (up to kMaxKeysPerFrame keys); this value
-        // only sizes the staging buffer's refill threshold.
-        return 8;
-      case LayoutMode::kRid:
-        break;
-    }
-    return 1;
-  }
-
-  /// Materialize the tuple groups of cache line `read_idx` into `staging`.
-  void MaterializeGroups(size_t n, size_t read_idx,
-                         std::deque<Group>* staging) const {
-    const T* tuples = in_tuples_;
-    const KeyType* keys = in_keys_;
-    if (config_.layout == LayoutMode::kCompressed) {
-      // The decompressor lane: unpack one frame (one cycle in hardware)
-      // into key groups, appending virtual record ids.
-      uint32_t scratch[kMaxKeysPerFrame];
-      const int count = in_column_->DecodeFrame(read_idx, scratch);
-      const uint64_t base = in_column_->frame_offset(read_idx);
-      Group group;
-      for (int k = 0; k < count; ++k) {
-        T t{};
-        TupleTraits<T>::SetKey(&t, scratch[k]);
-        SetPayloadId(&t, base + k);
-        group.tuples[group.count++] = t;
-        if (group.count == K) {
-          staging->push_back(group);
-          group = Group{};
-        }
-      }
-      if (group.count > 0) staging->push_back(group);
-      return;
-    }
-    if (config_.layout == LayoutMode::kVrid) {
-      size_t base = read_idx * kKeysPerCacheLine;
-      for (size_t g = 0; g < GroupsPerRead(); ++g) {
-        Group group;
-        for (int k = 0; k < K; ++k) {
-          size_t idx = base + g * K + k;
-          if (idx >= n) break;
-          T t{};
-          TupleTraits<T>::SetKey(&t, keys[idx]);
-          SetPayloadId(&t, idx);  // the virtual record id
-          group.tuples[group.count++] = t;
-        }
-        if (group.count > 0) staging->push_back(group);
-      }
-    } else {
-      size_t base = read_idx * K;
-      Group group;
-      for (int k = 0; k < K; ++k) {
-        if (base + k >= n) break;
-        group.tuples[group.count++] = tuples[base + k];
-      }
-      if (group.count > 0) staging->push_back(group);
-    }
-  }
-
   /// Shared per-cycle input machinery: issue a QPI read when the staging
   /// buffer has room, then feed one tuple group into the hash lanes if
   /// every lane FIFO can absorb it (the back-pressure rule of Section 4.3:
   /// read requests are only issued while the first-stage FIFOs have room).
-  void FeedCycle(size_t n, size_t total_reads, size_t* reads_done,
-                 std::deque<Group>* staging, QpiLink* link, CycleStats* stats,
-                 std::vector<HashLane<T>>* lanes,
+  void FeedCycle(const InputStager<T>& stager, size_t n, size_t total_reads,
+                 size_t* reads_done, std::deque<Group>* staging, QpiLink* link,
+                 CycleStats* stats, std::vector<HashLane<T>>* lanes,
                  const std::vector<Fifo<HashedTuple<T>>*>& lane_fifos,
                  uint64_t* fed) {
     if (*reads_done < total_reads &&
-        staging->size() < 2 * GroupsPerRead()) {
+        staging->size() < 2 * stager.GroupsPerRead()) {
       if (link->TryRead()) {
-        MaterializeGroups(n, *reads_done, staging);
+        stager.MaterializeGroups(n, *reads_done, staging);
         ++*reads_done;
         ++stats->read_lines;
       } else {
@@ -266,10 +187,19 @@ class FpgaPartitioner {
   Result<FpgaRunResult<T>> Run(size_t n) {
     FpgaRunResult<T> result;
     QpiLink link = MakeLink();
+    const InputStager<T> stager(config_, in_tuples_, in_keys_, in_column_);
+    const bool fast = config_.sim_mode == SimMode::kFast;
 
     std::vector<std::vector<uint64_t>> lane_hist;
     if (config_.output_mode == OutputMode::kHist) {
-      FPART_RETURN_NOT_OK(HistogramPass(n, &link, &result.stats, &lane_hist));
+      if (fast) {
+        FastCircuit<T> circuit(config_, fn_, hazard_, stager);
+        FPART_RETURN_NOT_OK(circuit.HistogramPass(n, MaxCycles(n), &link,
+                                                  &result.stats, &lane_hist));
+      } else {
+        FPART_RETURN_NOT_OK(
+            HistogramPass(stager, n, &link, &result.stats, &lane_hist));
+      }
     }
 
     // --- Allocate the destination partitions.
@@ -305,7 +235,14 @@ class FpgaPartitioner {
     FPART_ASSIGN_OR_RETURN(result.output,
                            PartitionedOutput<T>::Allocate(capacity_cls));
 
-    FPART_RETURN_NOT_OK(PartitionPass(n, &link, &result.stats, &result.output));
+    if (fast) {
+      FastCircuit<T> circuit(config_, fn_, hazard_, stager);
+      FPART_RETURN_NOT_OK(circuit.PartitionPass(n, MaxCycles(n), &link,
+                                                &result.stats, &result.output));
+    } else {
+      FPART_RETURN_NOT_OK(
+          PartitionPass(stager, n, &link, &result.stats, &result.output));
+    }
 
     result.seconds = result.stats.Seconds(kFpgaClockHz);
     result.mtuples_per_sec =
@@ -320,7 +257,8 @@ class FpgaPartitioner {
 
   /// HIST pass 1: scan the relation and build per-lane histograms; nothing
   /// is written back (Section 4.5).
-  Status HistogramPass(size_t n, QpiLink* link, CycleStats* stats,
+  Status HistogramPass(const InputStager<T>& stager, size_t n, QpiLink* link,
+                       CycleStats* stats,
                        std::vector<std::vector<uint64_t>>* lane_hist) {
     lane_hist->assign(K, std::vector<uint64_t>(config_.fanout, 0));
     std::vector<Fifo<HashedTuple<T>>> fifo_storage(
@@ -333,7 +271,7 @@ class FpgaPartitioner {
       lanes.emplace_back(fn_, config_.hash_latency(), &fifo_storage[c]);
     }
 
-    const size_t total_reads = TotalReads(n);
+    const size_t total_reads = stager.TotalReads(n);
     size_t reads_done = 0;
     std::deque<Group> staging;
     uint64_t fed = 0;
@@ -357,15 +295,15 @@ class FpgaPartitioner {
           ++(*lane_hist)[c][ht->hash];
         }
       }
-      FeedCycle(n, total_reads, &reads_done, &staging, link, stats, &lanes,
-                lane_fifos, &fed);
+      FeedCycle(stager, n, total_reads, &reads_done, &staging, link, stats,
+                &lanes, lane_fifos, &fed);
     }
     return Status::OK();
   }
 
   /// The writing pass (PAD's only pass / HIST's second pass).
-  Status PartitionPass(size_t n, QpiLink* link, CycleStats* stats,
-                       PartitionedOutput<T>* output) {
+  Status PartitionPass(const InputStager<T>& stager, size_t n, QpiLink* link,
+                       CycleStats* stats, PartitionedOutput<T>* output) {
     std::vector<WriteCombiner<T>> combiners;
     combiners.reserve(K);
     for (int c = 0; c < K; ++c) {
@@ -383,7 +321,7 @@ class FpgaPartitioner {
     for (int c = 0; c < K; ++c) outputs.push_back(&combiners[c].output());
     WriteBackModule<T> write_back(output, outputs);
 
-    const size_t total_reads = TotalReads(n);
+    const size_t total_reads = stager.TotalReads(n);
     size_t reads_done = 0;
     std::deque<Group> staging;
     uint64_t fed = 0;
@@ -417,8 +355,8 @@ class FpgaPartitioner {
       write_back.Tick(link, stats);
       if (write_back.overflowed()) return overflow_status();
       for (auto& c : combiners) c.Tick();
-      FeedCycle(n, total_reads, &reads_done, &staging, link, stats, &lanes,
-                lane_fifos, &fed);
+      FeedCycle(stager, n, total_reads, &reads_done, &staging, link, stats,
+                &lanes, lane_fifos, &fed);
     }
 
     // --- Flush: scan every (combiner, partition) BRAM address at one per

@@ -1,0 +1,167 @@
+// Input staging shared by the reference cycle loop and the fast engine.
+//
+// One QPI cache-line read materializes one or more tuple groups (a group is
+// the up-to-K tuples entering the hash lanes in one cycle). The expansion
+// depends on the input layout: RID reads tuple lines directly, VRID expands
+// a key line into kKeysPerCacheLine/K groups, and the compressed layout
+// unpacks a FOR frame. Both simulator back ends (SimMode::kReference and
+// SimMode::kFast) share this code so the functional tuple stream is
+// identical by construction; only the cycle bookkeeping is implemented
+// twice.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "compress/for_codec.h"
+#include "datagen/tuple.h"
+#include "fpga/config.h"
+
+namespace fpart {
+
+/// One group of up to K tuples entering the hash lanes in one cycle.
+template <typename T>
+struct TupleGroup {
+  static constexpr int K = TupleTraits<T>::kTuplesPerCacheLine;
+  std::array<T, K> tuples;
+  uint8_t count = 0;
+};
+
+/// \brief Materializes the tuple-group stream of one input source.
+template <typename T>
+class InputStager {
+ public:
+  static constexpr int K = TupleTraits<T>::kTuplesPerCacheLine;
+  using KeyType = decltype(T{}.key);
+  static constexpr int kKeysPerCacheLine = kCacheLineSize / sizeof(KeyType);
+
+  InputStager(const FpgaPartitionerConfig& config, const T* tuples,
+              const KeyType* keys, const CompressedColumn* column)
+      : config_(config), tuples_(tuples), keys_(keys), column_(column) {}
+
+  /// Cache-line reads required to scan the input once.
+  size_t TotalReads(size_t n) const {
+    if (config_.layout == LayoutMode::kCompressed) {
+      return column_->num_frames();
+    }
+    if (config_.layout == LayoutMode::kVrid) {
+      return (n + kKeysPerCacheLine - 1) / kKeysPerCacheLine;
+    }
+    return (n + K - 1) / K;
+  }
+
+  /// Tuple groups produced by one granted cache-line read: the VRID key
+  /// line expands into multiple tuple lines inside the circuit.
+  size_t GroupsPerRead() const {
+    switch (config_.layout) {
+      case LayoutMode::kVrid:
+        return static_cast<size_t>(kKeysPerCacheLine / K);
+      case LayoutMode::kCompressed:
+        // Variable per frame (up to kMaxKeysPerFrame keys); this value
+        // only sizes the staging buffer's refill threshold.
+        return 8;
+      case LayoutMode::kRid:
+        break;
+    }
+    return 1;
+  }
+
+  /// RID and VRID group streams are uniform: global group `g` always
+  /// covers tuples [gK, min(n, gK+K)), so a consumer that tracks staging
+  /// occupancy as a counter can materialize each group on demand with
+  /// FillGroup instead of queueing TupleGroups. Compressed frames emit a
+  /// partial group at every frame boundary, so they must stay queued.
+  bool SupportsDirectGroups() const {
+    return config_.layout != LayoutMode::kCompressed;
+  }
+
+  /// Groups produced by read `read_idx` (direct-group layouts only).
+  size_t GroupsOfRead(size_t n, size_t read_idx) const {
+    const size_t per_read =
+        config_.layout == LayoutMode::kVrid ? kKeysPerCacheLine : K;
+    const size_t base = read_idx * per_read;
+    const size_t count = base < n ? (n - base < per_read ? n - base
+                                                         : per_read)
+                                  : 0;
+    return (count + K - 1) / K;
+  }
+
+  /// Materialize global group `group_idx` into `out[0..K)`; returns the
+  /// number of valid tuples (direct-group layouts only). Produces exactly
+  /// the tuples MaterializeGroups would queue for this position.
+  uint32_t FillGroup(size_t n, size_t group_idx, T* out) const {
+    const size_t base = group_idx * K;
+    const uint32_t count =
+        static_cast<uint32_t>(n - base < static_cast<size_t>(K) ? n - base
+                                                                : K);
+    if (config_.layout == LayoutMode::kVrid) {
+      for (uint32_t k = 0; k < count; ++k) {
+        T t{};
+        TupleTraits<T>::SetKey(&t, keys_[base + k]);
+        SetPayloadId(&t, base + k);  // the virtual record id
+        out[k] = t;
+      }
+    } else {
+      for (uint32_t k = 0; k < count; ++k) out[k] = tuples_[base + k];
+    }
+    return count;
+  }
+
+  /// Materialize the tuple groups of cache line `read_idx` into `staging`.
+  void MaterializeGroups(size_t n, size_t read_idx,
+                         std::deque<TupleGroup<T>>* staging) const {
+    if (config_.layout == LayoutMode::kCompressed) {
+      // The decompressor lane: unpack one frame (one cycle in hardware)
+      // into key groups, appending virtual record ids.
+      uint32_t scratch[kMaxKeysPerFrame];
+      const int count = column_->DecodeFrame(read_idx, scratch);
+      const uint64_t base = column_->frame_offset(read_idx);
+      TupleGroup<T> group;
+      for (int k = 0; k < count; ++k) {
+        T t{};
+        TupleTraits<T>::SetKey(&t, scratch[k]);
+        SetPayloadId(&t, base + k);
+        group.tuples[group.count++] = t;
+        if (group.count == K) {
+          staging->push_back(group);
+          group = TupleGroup<T>{};
+        }
+      }
+      if (group.count > 0) staging->push_back(group);
+      return;
+    }
+    if (config_.layout == LayoutMode::kVrid) {
+      size_t base = read_idx * kKeysPerCacheLine;
+      for (size_t g = 0; g < GroupsPerRead(); ++g) {
+        TupleGroup<T> group;
+        for (int k = 0; k < K; ++k) {
+          size_t idx = base + g * K + k;
+          if (idx >= n) break;
+          T t{};
+          TupleTraits<T>::SetKey(&t, keys_[idx]);
+          SetPayloadId(&t, idx);  // the virtual record id
+          group.tuples[group.count++] = t;
+        }
+        if (group.count > 0) staging->push_back(group);
+      }
+    } else {
+      size_t base = read_idx * K;
+      TupleGroup<T> group;
+      for (int k = 0; k < K; ++k) {
+        if (base + k >= n) break;
+        group.tuples[group.count++] = tuples_[base + k];
+      }
+      if (group.count > 0) staging->push_back(group);
+    }
+  }
+
+ private:
+  const FpgaPartitionerConfig& config_;
+  const T* tuples_;
+  const KeyType* keys_;
+  const CompressedColumn* column_;
+};
+
+}  // namespace fpart

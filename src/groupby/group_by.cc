@@ -24,8 +24,12 @@ Result<GroupByOutput> PartitionedGroupBy(const GroupByConfig& config,
   PartitionReport<Tuple8> partitioned = std::move(*attempt);
 
   const size_t num_threads = std::max<size_t>(1, config.num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = config.pool;
+  if (pool == nullptr && num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = own_pool.get();
+  }
 
   const size_t num_parts = partitioned.output.num_partitions();
   std::vector<std::vector<GroupResult>> per_thread(num_threads);

@@ -49,6 +49,9 @@ struct GroupByConfig {
   /// Apply the Table 1 snoop penalty to the aggregation phase after FPGA
   /// partitioning (sequential scan of FPGA-written partitions).
   bool coherence_penalty = true;
+  /// Shared worker pool; when null and num_threads > 1 the call constructs
+  /// its own.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Result of a group-by execution.

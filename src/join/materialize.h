@@ -43,13 +43,18 @@ struct MaterializedJoin {
 /// and the buffers are concatenated in partition order afterwards.
 template <typename RPart, typename SPart, typename T>
 MaterializedJoin MaterializeJoin(const RPart& r, const SPart& s,
-                                 size_t num_threads, const T* /*tag*/) {
+                                 size_t num_threads, const T* /*tag*/,
+                                 ThreadPool* shared_pool = nullptr) {
   num_threads = num_threads == 0 ? 1 : num_threads;
   const size_t num_parts = r.num_partitions();
   std::vector<std::vector<JoinedRow>> per_thread(num_threads);
 
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = shared_pool;
+  if (pool == nullptr && num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = own_pool.get();
+  }
 
   Timer timer;
   auto worker = [&](size_t t) {

@@ -24,7 +24,8 @@ namespace fpart {
 /// every probe is a cache/TLB miss on large relations.
 template <typename T>
 Result<JoinResult> NoPartitionJoin(size_t num_threads, const Relation<T>& r,
-                                   const Relation<T>& s) {
+                                   const Relation<T>& s,
+                                   ThreadPool* shared_pool = nullptr) {
   num_threads = std::max<size_t>(1, num_threads);
   size_t num_buckets = 16;
   while (num_buckets < r.size()) num_buckets <<= 1;
@@ -42,8 +43,12 @@ Result<JoinResult> NoPartitionJoin(size_t num_threads, const Relation<T>& r,
     }
   };
 
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = shared_pool;
+  if (pool == nullptr && num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = own_pool.get();
+  }
 
   const T* r_data = r.data();
   const T* s_data = s.data();

@@ -22,6 +22,9 @@ struct CpuJoinConfig {
   size_t num_threads = 1;
   bool use_buffers = true;
   bool non_temporal = true;
+  /// Shared worker pool; when null and num_threads > 1 the call constructs
+  /// its own (benchmark loops should pass one and reuse it).
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Phase timings and result of one join execution.
@@ -49,11 +52,13 @@ Result<JoinResult> CpuRadixJoin(const CpuJoinConfig& config,
   pc.use_buffers = config.use_buffers;
   pc.non_temporal = config.non_temporal;
 
-  std::unique_ptr<ThreadPool> pool;
-  if (config.num_threads > 1) {
-    pool = std::make_unique<ThreadPool>(config.num_threads);
-    pc.pool = pool.get();
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = config.pool;
+  if (pool == nullptr && config.num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(config.num_threads);
+    pool = own_pool.get();
   }
+  pc.pool = pool;
 
   FPART_ASSIGN_OR_RETURN(CpuRunResult<T> pr,
                          CpuPartition(pc, r.data(), r.size()));
@@ -61,7 +66,7 @@ Result<JoinResult> CpuRadixJoin(const CpuJoinConfig& config,
                          CpuPartition(pc, s.data(), s.size()));
 
   BuildProbeStats bp = ParallelBuildProbe(pr.output, ps.output,
-                                          config.num_threads, pool.get(),
+                                          config.num_threads, pool,
                                           static_cast<const T*>(nullptr));
 
   JoinResult result;

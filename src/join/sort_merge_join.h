@@ -54,10 +54,15 @@ inline void ParallelSortPairs(std::vector<std::pair<uint64_t, uint64_t>>* v,
 /// Execute R ⋈ S by sorting both relations on the key and merging.
 template <typename T>
 Result<JoinResult> SortMergeJoin(size_t num_threads, const Relation<T>& r,
-                                 const Relation<T>& s) {
+                                 const Relation<T>& s,
+                                 ThreadPool* shared_pool = nullptr) {
   num_threads = std::max<size_t>(1, num_threads);
-  std::unique_ptr<ThreadPool> pool;
-  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  std::unique_ptr<ThreadPool> own_pool;
+  ThreadPool* pool = shared_pool;
+  if (pool == nullptr && num_threads > 1) {
+    own_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = own_pool.get();
+  }
 
   std::vector<std::pair<uint64_t, uint64_t>> rs(r.size()), ss(s.size());
   for (size_t i = 0; i < r.size(); ++i) {
@@ -68,8 +73,8 @@ Result<JoinResult> SortMergeJoin(size_t num_threads, const Relation<T>& r,
   }
 
   Timer sort_timer;
-  internal::ParallelSortPairs(&rs, num_threads, pool.get());
-  internal::ParallelSortPairs(&ss, num_threads, pool.get());
+  internal::ParallelSortPairs(&rs, num_threads, pool);
+  internal::ParallelSortPairs(&ss, num_threads, pool);
   double sort_seconds = sort_timer.Seconds();
 
   // Merge: for each equal-key run, matches += |run_R| × |run_S|.

@@ -20,11 +20,6 @@ QpiLink QpiLink::XeonFpga(double clock_hz, Interference interference) {
   });
 }
 
-void QpiLink::Tick() {
-  tokens_ = std::min(tokens_ + rate_, kMaxBurstTokens);
-  if (++cycles_in_window_ >= kWindowCycles) Recalibrate();
-}
-
 void QpiLink::Recalibrate() {
   uint64_t total = window_reads_ + window_writes_;
   if (total > 0) {
@@ -35,26 +30,6 @@ void QpiLink::Recalibrate() {
   window_reads_ = 0;
   window_writes_ = 0;
   cycles_in_window_ = 0;
-}
-
-bool QpiLink::Consume() {
-  if (tokens_ < 1.0) return false;
-  tokens_ -= 1.0;
-  return true;
-}
-
-bool QpiLink::TryRead() {
-  if (!Consume()) return false;
-  ++reads_granted_;
-  ++window_reads_;
-  return true;
-}
-
-bool QpiLink::TryWrite() {
-  if (!Consume()) return false;
-  ++writes_granted_;
-  ++window_writes_;
-  return true;
 }
 
 }  // namespace fpart

@@ -32,13 +32,28 @@ class QpiLink {
                           Interference interference = Interference::kAlone);
 
   /// Advance one clock cycle: accrue tokens, periodically re-estimate the
-  /// achievable bandwidth from the observed read/write mix.
-  void Tick();
+  /// achievable bandwidth from the observed read/write mix. Called once
+  /// per simulated cycle, so these three stay header-inline.
+  void Tick() {
+    tokens_ = tokens_ + rate_ < kMaxBurstTokens ? tokens_ + rate_
+                                                : kMaxBurstTokens;
+    if (++cycles_in_window_ >= kWindowCycles) Recalibrate();
+  }
 
   /// Try to issue one cache-line read this cycle.
-  bool TryRead();
+  bool TryRead() {
+    if (!Consume()) return false;
+    ++reads_granted_;
+    ++window_reads_;
+    return true;
+  }
   /// Try to issue one cache-line write this cycle.
-  bool TryWrite();
+  bool TryWrite() {
+    if (!Consume()) return false;
+    ++writes_granted_;
+    ++window_writes_;
+    return true;
+  }
 
   uint64_t reads_granted() const { return reads_granted_; }
   uint64_t writes_granted() const { return writes_granted_; }
@@ -49,7 +64,12 @@ class QpiLink {
   double current_rate_lines_per_cycle() const { return rate_; }
 
  private:
-  bool Consume();
+  bool Consume() {
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
   void Recalibrate();
 
   double clock_hz_;

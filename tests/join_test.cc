@@ -179,6 +179,64 @@ TEST(HybridJoinTest, SkewedPadOverflowFallsBackToHist) {
   EXPECT_EQ(result->matches, input->s.size());
 }
 
+TEST(HybridJoinTest, OverlappedExecutionMatchesSequential) {
+  // Overlapping S's partitioning with the build over R changes only host
+  // wall clock; matches, checksum, and the simulated partition time are
+  // deterministic and must be identical.
+  JoinInput input = SmallWorkload(WorkloadId::kA, 2e-4);
+  for (LayoutMode layout : {LayoutMode::kRid, LayoutMode::kVrid}) {
+    HybridJoinConfig config;
+    config.fpga.fanout = 64;
+    config.fpga.output_mode = OutputMode::kPad;
+    config.fpga.layout = layout;
+    config.num_threads = 2;
+    auto sequential = HybridJoin(config, input.r, input.s);
+    config.overlap_partitioning = true;
+    auto overlapped = HybridJoin(config, input.r, input.s);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    ASSERT_TRUE(overlapped.ok()) << overlapped.status().ToString();
+    EXPECT_EQ(overlapped->matches, sequential->matches);
+    EXPECT_EQ(overlapped->checksum, sequential->checksum);
+    EXPECT_EQ(overlapped->partition_seconds, sequential->partition_seconds);
+    EXPECT_EQ(overlapped->matches, input.s.size());
+  }
+}
+
+TEST(HybridJoinTest, OverlappedExecutionWithSharedPool) {
+  JoinInput input = SmallWorkload(WorkloadId::kB, 1e-4);
+  ThreadPool pool(2);
+  HybridJoinConfig config;
+  config.fpga.fanout = 32;
+  config.fpga.output_mode = OutputMode::kHist;
+  config.num_threads = 2;
+  config.pool = &pool;
+  config.overlap_partitioning = true;
+  auto result = HybridJoin(config, input.r, input.s);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->matches, input.s.size());
+  // The pool stays usable for subsequent calls.
+  auto again = HybridJoin(config, input.r, input.s);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->checksum, result->checksum);
+}
+
+TEST(HybridJoinTest, OverlappedOverflowStillReportsError) {
+  WorkloadSpec spec = GetWorkloadSpec(WorkloadId::kA, 2e-4);
+  spec.zipf = 1.2;  // skew S so the PAD budget overflows during its pass
+  auto input = GenerateWorkload(spec, 3);
+  ASSERT_TRUE(input.ok());
+  HybridJoinConfig config;
+  config.fpga.fanout = 64;
+  config.fpga.output_mode = OutputMode::kPad;
+  config.fpga.pad_fraction = 0.05;
+  config.num_threads = 2;
+  config.overlap_partitioning = true;
+  auto result = HybridJoin(config, input->r, input->s);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsPartitionOverflow())
+      << result.status().ToString();
+}
+
 TEST(NoPartitionJoinTest, MatchesRadixJoin) {
   JoinInput input = SmallWorkload(WorkloadId::kC, 5e-5);
   auto np = NoPartitionJoin(2, input.r, input.s);
