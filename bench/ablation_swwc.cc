@@ -11,13 +11,15 @@ namespace fpart {
 namespace {
 
 double Throughput(const Relation<Tuple8>& rel, uint32_t fanout,
-                  bool use_buffers, bool non_temporal) {
+                  bool use_buffers, bool non_temporal,
+                  bool use_simd = true) {
   CpuPartitionerConfig config;
   config.fanout = fanout;
   config.hash = HashMethod::kRadix;
   config.num_threads = 1;
   config.use_buffers = use_buffers;
   config.non_temporal = non_temporal;
+  config.use_simd = use_simd;
   // Best of three runs, as partitioning microbenchmarks usually report.
   double best = 0;
   for (int i = 0; i < 3; ++i) {
@@ -35,19 +37,23 @@ int Run() {
 
   std::printf("single-threaded radix partitioning of %zu tuples "
               "(Mtuples/s):\n\n", n);
-  std::printf("%8s | %14s %14s %14s\n", "fanout", "naive (Code 1)",
-              "buffers(Code 2)", "buffers + NT");
+  std::printf("%8s | %14s %14s %14s %14s\n", "fanout", "naive (Code 1)",
+              "buffers(Code 2)", "buffers + NT", "NT, scalar");
   for (uint32_t fanout : {64u, 512u, 1024u, 4096u, 8192u}) {
-    std::printf("%8u | %14.0f %14.0f %14.0f\n", fanout,
+    std::printf("%8u | %14.0f %14.0f %14.0f %14.0f\n", fanout,
                 Throughput(*rel, fanout, false, false),
                 Throughput(*rel, fanout, true, false),
-                Throughput(*rel, fanout, true, true));
+                Throughput(*rel, fanout, true, true),
+                Throughput(*rel, fanout, true, true, false));
   }
   std::printf(
       "\nExpected shape: the naive scatter collapses at high fan-out "
       "(one TLB/cache\nmiss per tuple); software-managed buffers keep "
       "single-pass partitioning fast,\nand non-temporal stores add a "
-      "further margin by avoiding read-for-ownership.\n");
+      "further margin by avoiding read-for-ownership.\nThe last column "
+      "disables the fused single-hash SIMD path (use_simd=false),\n"
+      "the PR-1 two-pass scalar baseline of DESIGN.md \"CPU fast "
+      "paths\".\n");
   return 0;
 }
 

@@ -31,7 +31,10 @@ int Run() {
   std::printf("Measured on host (Mtuples/s), n=%zu:\n", n);
   std::printf("%8s", "threads");
   for (KeyDistribution d : dists) std::printf(" %14s", KeyDistributionName(d));
-  std::printf(" %14s\n", "hash(all)");
+  // The last column re-runs kRandom radix with the fused-SIMD fast path
+  // off — the PR-1 scalar two-pass baseline — so the fig04 table doubles
+  // as the ablation for DESIGN.md "CPU fast paths".
+  std::printf(" %14s %14s\n", "hash(all)", "radix-scalar");
   for (size_t t : threads) {
     if (t > host_max) continue;
     std::printf("%8zu", t);
@@ -52,7 +55,12 @@ int Run() {
       config.hash = HashMethod::kMurmur;
       config.num_threads = t;
       auto run = CpuPartition(config, rel->data(), rel->size());
-      std::printf(" %14.0f\n", run.ok() ? run->mtuples_per_sec : -1.0);
+      std::printf(" %14.0f", run.ok() ? run->mtuples_per_sec : -1.0);
+      config.hash = HashMethod::kRadix;
+      config.use_simd = false;
+      auto scalar = CpuPartition(config, rel->data(), rel->size());
+      std::printf(" %14.0f\n",
+                  scalar.ok() ? scalar->mtuples_per_sec : -1.0);
     }
   }
 

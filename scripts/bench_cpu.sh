@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Measure the CPU fast paths (fused single-hash SIMD partitioning vs the
+# scalar two-pass baseline, plus the downstream radix join) and record the
+# result as BENCH_cpu.json at the repo root. The partition config is the
+# fig04 radix setup: fanout 8192, Tuple8, one thread.
+# Usage: scripts/bench_cpu.sh [build_dir] [n_tuples]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+n_tuples=${2:-16000000}
+
+for target in micro_partition ext_join_algorithms; do
+  if [ ! -x "$build_dir/bench/$target" ]; then
+    echo "building $target in $build_dir ..." >&2
+    cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
+    cmake --build "$build_dir" --target "$target" -j >&2
+  fi
+done
+
+out="$repo_root/BENCH_cpu.json"
+{
+  printf '{\n"partition":\n'
+  "$build_dir/bench/micro_partition" --json "$n_tuples"
+  printf ',\n"join":\n'
+  "$build_dir/bench/ext_join_algorithms" --json
+  printf '}\n'
+} > "$out.tmp"
+mv "$out.tmp" "$out"
+cat "$out"

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Full correctness gate for the CPU fast paths: builds and runs the test
+# suite under the default (baseline-ISA) flags, under ASan+UBSan, and with
+# -march=native, and repeats the suite with FPART_SIMD forcing each
+# dispatch fallback tier — so the scalar, AVX2 and (where present) AVX-512
+# paths are all exercised regardless of the build host.
+# Usage: scripts/check.sh [jobs]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+
+run_suite() {
+  build_dir=$1
+  shift
+  echo "=== configure $build_dir ($*) ===" >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+    -DFPART_BUILD_BENCHMARKS=OFF -DFPART_BUILD_EXAMPLES=OFF "$@" >&2
+  cmake --build "$build_dir" -j "$jobs" >&2
+  for level in default scalar avx2; do
+    echo "=== ctest $build_dir [FPART_SIMD=$level] ===" >&2
+    if [ "$level" = default ]; then
+      (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+    else
+      (cd "$build_dir" && FPART_SIMD=$level ctest --output-on-failure \
+        -j "$jobs")
+    fi
+  done
+}
+
+run_suite "$repo_root/build-check"
+run_suite "$repo_root/build-check-asan" -DFPART_SANITIZE=ON
+run_suite "$repo_root/build-check-native" -DFPART_MARCH_NATIVE=ON
+
+echo "check.sh: all builds and test tiers passed"

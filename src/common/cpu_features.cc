@@ -1,0 +1,56 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fpart {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimdLevel() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  static const SimdLevel detected = [] {
+    if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("sse4.2")) {
+      return SimdLevel::kScalar;
+    }
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return SimdLevel::kAvx512;
+    }
+    return SimdLevel::kAvx2;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel active = [] {
+    SimdLevel level = DetectSimdLevel();
+    const char* v = std::getenv("FPART_SIMD");
+    if (v != nullptr) {
+      if (std::strcmp(v, "scalar") == 0) {
+        level = SimdLevel::kScalar;
+      } else if (std::strcmp(v, "avx2") == 0 &&
+                 SimdLevelAtLeast(level, SimdLevel::kAvx2)) {
+        level = SimdLevel::kAvx2;
+      }
+    }
+    return level;
+  }();
+  return active;
+}
+
+}  // namespace fpart

@@ -1,0 +1,44 @@
+// Runtime CPU-feature detection and dispatch policy for the SIMD fast
+// paths (DESIGN.md "CPU fast paths").
+//
+// The library is compiled for the baseline ISA; kernels that need wider
+// vectors carry per-function target attributes and are only entered when
+// the *running* CPU supports them, so one binary serves every host. The
+// FPART_SIMD environment variable can force a lower level ("scalar",
+// "avx2"), which is how the parity tests exercise every fallback tier on
+// wide machines.
+#pragma once
+
+namespace fpart {
+
+/// Vector ISA levels the dispatcher distinguishes. Higher levels imply the
+/// lower ones (kAvx2 hosts also have SSE4.2 for the CRC32-C instruction;
+/// kAvx512 hosts can run the AVX2 kernels).
+enum class SimdLevel {
+  /// Portable scalar code only.
+  kScalar = 0,
+  /// AVX2: 8-wide 32-bit / 4-wide 64-bit hash kernels, hardware CRC32-C.
+  kAvx2 = 1,
+  /// AVX-512 (F+BW+DQ): 16-wide 32-bit / 8-wide 64-bit hash kernels,
+  /// one-instruction key extraction / index packing, and single-store
+  /// cache-line flushes.
+  kAvx512 = 2,
+};
+
+/// Level ordering (enum class has no relational operators).
+constexpr bool SimdLevelAtLeast(SimdLevel level, SimdLevel required) {
+  return static_cast<int>(level) >= static_cast<int>(required);
+}
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level the host CPU supports (detected once, then cached).
+SimdLevel DetectSimdLevel();
+
+/// The level the dispatch actually uses: DetectSimdLevel() capped by the
+/// FPART_SIMD environment variable ("scalar" forces the fallback, "avx2"
+/// caps a wider host at AVX2; unknown values mean no cap). Cached after
+/// the first call — set the variable before first use.
+SimdLevel ActiveSimdLevel();
+
+}  // namespace fpart

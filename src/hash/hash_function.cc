@@ -2,6 +2,9 @@
 
 #include <array>
 
+#include "common/cpu_features.h"
+#include "hash/simd_hash.h"
+
 namespace fpart {
 
 const char* HashMethodName(HashMethod method) {
@@ -51,6 +54,92 @@ std::array<uint32_t, 256> MakeCrcTable() {
 }
 
 }  // namespace
+
+void PartitionFn::ApplyBatch(const uint32_t* keys, uint32_t* out,
+                             size_t n) const {
+#if defined(FPART_HAS_X86_SIMD_KERNELS)
+  const SimdLevel level = ActiveSimdLevel();
+  if (level == SimdLevel::kAvx512) {
+    switch (method_) {
+      case HashMethod::kRadix:
+        simd::RadixBatch32Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMurmur:
+        simd::MurmurBatch32Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMultiplicative:
+        simd::MultiplicativeBatch32Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kCrc32:
+        simd::Crc32Batch32Hw(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kRange:
+        break;  // no vector kernel; fall through to the scalar loop
+    }
+  } else if (level == SimdLevel::kAvx2) {
+    switch (method_) {
+      case HashMethod::kRadix:
+        simd::RadixBatch32Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMurmur:
+        simd::MurmurBatch32Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMultiplicative:
+        simd::MultiplicativeBatch32Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kCrc32:
+        simd::Crc32Batch32Hw(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kRange:
+        break;  // no vector kernel; fall through to the scalar loop
+    }
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) out[i] = (*this)(keys[i]);
+}
+
+void PartitionFn::ApplyBatch64(const uint64_t* keys, uint32_t* out,
+                               size_t n) const {
+#if defined(FPART_HAS_X86_SIMD_KERNELS)
+  const SimdLevel level = ActiveSimdLevel();
+  if (level == SimdLevel::kAvx512) {
+    switch (method_) {
+      case HashMethod::kRadix:
+        simd::RadixBatch64Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMurmur:
+        simd::MurmurBatch64Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMultiplicative:
+        simd::MultiplicativeBatch64Avx512(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kCrc32:
+        simd::Crc32Batch64Hw(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kRange:
+        break;  // no vector kernel; fall through to the scalar loop
+    }
+  } else if (level == SimdLevel::kAvx2) {
+    switch (method_) {
+      case HashMethod::kRadix:
+        simd::RadixBatch64Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMurmur:
+        simd::MurmurBatch64Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kMultiplicative:
+        simd::MultiplicativeBatch64Avx2(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kCrc32:
+        simd::Crc32Batch64Hw(keys, out, n, bits_, shift_);
+        return;
+      case HashMethod::kRange:
+        break;  // no vector kernel; fall through to the scalar loop
+    }
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) out[i] = Apply64(keys[i]);
+}
 
 uint32_t Crc32c64(uint64_t key) {
   static const std::array<uint32_t, 256> table = MakeCrcTable();

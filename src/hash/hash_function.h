@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -95,6 +96,15 @@ class PartitionFn {
     }
     return 0;
   }
+
+  /// Partition indices of a whole batch of 32-bit keys: out[i] must equal
+  /// (*this)(keys[i]) bit-for-bit. Dispatches to the AVX2 8-wide kernels
+  /// of hash/simd_hash.h when the host supports them (and FPART_SIMD does
+  /// not force the scalar fallback); otherwise runs the scalar loop.
+  void ApplyBatch(const uint32_t* keys, uint32_t* out, size_t n) const;
+
+  /// Batch variant of Apply64 (4-wide AVX2 kernels).
+  void ApplyBatch64(const uint64_t* keys, uint32_t* out, size_t n) const;
 
   /// Partition index of a 64-bit key.
   uint32_t Apply64(uint64_t key) const {

@@ -1,5 +1,10 @@
 // The per-partition build+probe kernel of the radix join (Section 3.3) and
 // its parallel driver.
+//
+// Both loops software-prefetch the bucket head `prefetch_distance` tuples
+// ahead (Group-Prefetch style, Chen et al.): the bucket array of a
+// cache-sized partition still costs an L1/L2 miss per random touch, and a
+// rolling lookahead keeps several of those loads in flight.
 #pragma once
 
 #include <atomic>
@@ -13,6 +18,9 @@
 #include "join/hash_table.h"
 
 namespace fpart {
+
+/// Default bucket-head prefetch lookahead of the build+probe loops.
+inline constexpr uint32_t kDefaultProbePrefetchDistance = 16;
 
 /// \brief Outcome of the build+probe phase.
 struct BuildProbeStats {
@@ -28,28 +36,58 @@ struct BuildProbeStats {
   double probe_cpu_seconds = 0.0;
 };
 
-/// Build a table over one R partition and probe it with the matching S
-/// partition. `*_slots` counts stored tuple slots including dummy padding;
-/// dummies are skipped (Section 4.2).
+/// Build `table` over one R partition, prefetching bucket heads ahead of
+/// the inserts. `r_slots` counts stored tuple slots including dummy
+/// padding; dummies are skipped (Section 4.2).
 template <typename T>
-void JoinPartition(const T* r_data, size_t r_slots, const T* s_data,
-                   size_t s_slots, BucketChainTable<T>* table,
-                   uint64_t* matches, uint64_t* checksum) {
-  if (r_slots == 0 || s_slots == 0) return;
+void BuildPartitionTable(BucketChainTable<T>* table, const T* r_data,
+                         size_t r_slots,
+                         uint32_t prefetch_distance =
+                             kDefaultProbePrefetchDistance) {
   table->Reset(r_slots);
+  const size_t dist = prefetch_distance;
   for (size_t i = 0; i < r_slots; ++i) {
+    if (dist != 0 && i + dist < r_slots && !IsDummy(r_data[i + dist])) {
+      table->PrefetchBucket(r_data[i + dist].key);
+    }
     if (!IsDummy(r_data[i])) {
       table->Insert(r_data, static_cast<uint32_t>(i));
     }
   }
-  uint64_t m = 0, sum = 0;
+}
+
+/// Probe `table` with every real tuple of the S partition, prefetching
+/// bucket heads ahead; invokes `fn(r_index)` per match.
+template <typename T, typename Fn>
+void ProbePartitionTable(const BucketChainTable<T>& table, const T* r_data,
+                         const T* s_data, size_t s_slots,
+                         uint32_t prefetch_distance, Fn&& fn) {
+  const size_t dist = prefetch_distance;
   for (size_t j = 0; j < s_slots; ++j) {
+    if (dist != 0 && j + dist < s_slots && !IsDummy(s_data[j + dist])) {
+      table.PrefetchBucket(s_data[j + dist].key);
+    }
     if (IsDummy(s_data[j])) continue;
-    table->Probe(r_data, s_data[j].key, [&](uint32_t i) {
-      ++m;
-      sum += GetPayloadId(r_data[i]);
-    });
+    table.Probe(r_data, s_data[j].key, fn);
   }
+}
+
+/// Build a table over one R partition and probe it with the matching S
+/// partition.
+template <typename T>
+void JoinPartition(const T* r_data, size_t r_slots, const T* s_data,
+                   size_t s_slots, BucketChainTable<T>* table,
+                   uint64_t* matches, uint64_t* checksum,
+                   uint32_t prefetch_distance =
+                       kDefaultProbePrefetchDistance) {
+  if (r_slots == 0 || s_slots == 0) return;
+  BuildPartitionTable(table, r_data, r_slots, prefetch_distance);
+  uint64_t m = 0, sum = 0;
+  ProbePartitionTable(*table, r_data, s_data, s_slots, prefetch_distance,
+                      [&](uint32_t i) {
+                        ++m;
+                        sum += GetPayloadId(r_data[i]);
+                      });
   *matches += m;
   *checksum += sum;
 }
@@ -61,7 +99,9 @@ void JoinPartition(const T* r_data, size_t r_slots, const T* s_data,
 template <typename RPart, typename SPart, typename T>
 BuildProbeStats ParallelBuildProbe(const RPart& r, const SPart& s,
                                    size_t num_threads, ThreadPool* pool,
-                                   const T* /*tag*/) {
+                                   const T* /*tag*/,
+                                   uint32_t prefetch_distance =
+                                       kDefaultProbePrefetchDistance) {
   const size_t num_parts = r.num_partitions();
   BuildProbeStats stats;
   std::vector<uint64_t> matches(num_threads, 0);
@@ -81,23 +121,16 @@ BuildProbeStats ParallelBuildProbe(const RPart& r, const SPart& s,
       if (r_slots == 0 || s_slots == 0) continue;
       // Build.
       Timer timer;
-      table.Reset(r_slots);
-      for (size_t i = 0; i < r_slots; ++i) {
-        if (!IsDummy(r_data[i])) {
-          table.Insert(r_data, static_cast<uint32_t>(i));
-        }
-      }
+      BuildPartitionTable(&table, r_data, r_slots, prefetch_distance);
       build_secs[t] += timer.Seconds();
       // Probe.
       timer.Restart();
       uint64_t m = 0, sum = 0;
-      for (size_t j = 0; j < s_slots; ++j) {
-        if (IsDummy(s_data[j])) continue;
-        table.Probe(r_data, s_data[j].key, [&](uint32_t i) {
-          ++m;
-          sum += GetPayloadId(r_data[i]);
-        });
-      }
+      ProbePartitionTable(table, r_data, s_data, s_slots, prefetch_distance,
+                          [&](uint32_t i) {
+                            ++m;
+                            sum += GetPayloadId(r_data[i]);
+                          });
       probe_secs[t] += timer.Seconds();
       matches[t] += m;
       checksums[t] += sum;
@@ -125,17 +158,21 @@ BuildProbeStats ParallelBuildProbe(const RPart& r, const SPart& s,
 /// Used by the overlapped hybrid join, which builds over R's partitions
 /// while S is still being partitioned on another thread. Unlike the
 /// interleaved ParallelBuildProbe, every non-empty R partition is built
-/// (S's fill is not yet known). Adds the phase's wall and per-thread CPU
-/// time to `stats`.
+/// (S's fill is not yet known) — unless the caller already knows S's
+/// per-partition tuple counts and passes them as `s_hist`, in which case
+/// R partitions whose matching S partition is empty are skipped (their
+/// tables stay unbuilt; the probe never touches them). Adds the phase's
+/// wall and per-thread CPU time to `stats`.
 template <typename RPart, typename T>
-std::vector<BucketChainTable<T>> ParallelBuildTables(const RPart& r,
-                                                     size_t num_threads,
-                                                     ThreadPool* pool,
-                                                     BuildProbeStats* stats,
-                                                     const T* /*tag*/) {
+std::vector<BucketChainTable<T>> ParallelBuildTables(
+    const RPart& r, size_t num_threads, ThreadPool* pool,
+    BuildProbeStats* stats, const T* /*tag*/,
+    uint32_t prefetch_distance = kDefaultProbePrefetchDistance,
+    const std::vector<uint64_t>* s_hist = nullptr) {
   const size_t num_parts = r.num_partitions();
   std::vector<BucketChainTable<T>> tables(num_parts);
   std::vector<double> build_secs(num_threads, 0.0);
+  const bool have_skip = s_hist != nullptr && s_hist->size() == num_parts;
 
   auto worker = [&](size_t t) {
     Timer timer;
@@ -145,12 +182,8 @@ std::vector<BucketChainTable<T>> ParallelBuildTables(const RPart& r,
       const T* r_data = r.partition_data(p);
       size_t r_slots = r.partition_slots(p);
       if (r_slots == 0) continue;
-      tables[p].Reset(r_slots);
-      for (size_t i = 0; i < r_slots; ++i) {
-        if (!IsDummy(r_data[i])) {
-          tables[p].Insert(r_data, static_cast<uint32_t>(i));
-        }
-      }
+      if (have_skip && (*s_hist)[p] == 0) continue;
+      BuildPartitionTable(&tables[p], r_data, r_slots, prefetch_distance);
     }
     build_secs[t] = timer.Seconds();
   };
@@ -171,7 +204,9 @@ template <typename RPart, typename SPart, typename T>
 void ParallelProbeTables(const RPart& r, const SPart& s,
                          const std::vector<BucketChainTable<T>>& tables,
                          size_t num_threads, ThreadPool* pool,
-                         BuildProbeStats* stats) {
+                         BuildProbeStats* stats,
+                         uint32_t prefetch_distance =
+                             kDefaultProbePrefetchDistance) {
   const size_t num_parts = r.num_partitions();
   std::vector<uint64_t> matches(num_threads, 0);
   std::vector<uint64_t> checksums(num_threads, 0);
@@ -187,13 +222,12 @@ void ParallelProbeTables(const RPart& r, const SPart& s,
       const T* s_data = s.partition_data(p);
       size_t s_slots = s.partition_slots(p);
       if (r.partition_slots(p) == 0 || s_slots == 0) continue;
-      for (size_t j = 0; j < s_slots; ++j) {
-        if (IsDummy(s_data[j])) continue;
-        tables[p].Probe(r_data, s_data[j].key, [&](uint32_t i) {
-          ++m;
-          sum += GetPayloadId(r_data[i]);
-        });
-      }
+      if (tables[p].num_buckets() == 0) continue;  // skipped known-empty S
+      ProbePartitionTable(tables[p], r_data, s_data, s_slots,
+                          prefetch_distance, [&](uint32_t i) {
+                            ++m;
+                            sum += GetPayloadId(r_data[i]);
+                          });
     }
     probe_secs[t] = timer.Seconds();
     matches[t] = m;

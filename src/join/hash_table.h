@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/macros.h"
 #include "datagen/tuple.h"
 #include "hash/murmur.h"
 #include "hash/radix.h"
@@ -47,6 +48,13 @@ class BucketChainTable {
     for (int32_t i = buckets_[BucketOf(key)]; i >= 0; i = next_[i]) {
       if (data[i].key == key) fn(static_cast<uint32_t>(i));
     }
+  }
+
+  /// Prefetch the bucket head a future probe/insert of `key` will touch
+  /// (Group-Prefetch style: issue this G keys ahead of the access so the
+  /// random bucket load is in flight by the time the chain walk starts).
+  void PrefetchBucket(decltype(T{}.key) key) const {
+    PrefetchForRead(&buckets_[BucketOf(key)]);
   }
 
   size_t num_buckets() const { return buckets_.size(); }

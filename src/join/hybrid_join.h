@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -43,6 +44,14 @@ struct HybridJoinConfig {
   /// probe all) instead of the cache-friendlier per-partition interleave,
   /// so the paper-figure benchmarks keep it off.
   bool overlap_partitioning = false;
+  /// Software-prefetch lookahead for the build+probe bucket accesses.
+  uint32_t prefetch_distance = 16;
+  /// Exact per-partition tuple counts of S, when the caller already knows
+  /// them (a recurring join against the same S, or a prior HIST-mode run).
+  /// Lets the overlapped build skip R partitions whose S side is empty —
+  /// their tables would never be probed. Must be exact: a zero entry for a
+  /// non-empty S partition silently drops its matches. Not owned.
+  const std::vector<uint64_t>* s_histogram = nullptr;
 };
 
 namespace internal {
@@ -90,16 +99,19 @@ Result<JoinResult> HybridJoin(const HybridJoinConfig& config,
       s_run = internal::HybridPartition(config.fpga, s);
     });
     auto tables = ParallelBuildTables(pr.output, config.num_threads, pool,
-                                      &bp, static_cast<const T*>(nullptr));
+                                      &bp, static_cast<const T*>(nullptr),
+                                      config.prefetch_distance,
+                                      config.s_histogram);
     s_sim.join();
     FPART_ASSIGN_OR_RETURN(ps, std::move(s_run));
     ParallelProbeTables(pr.output, ps.output, tables, config.num_threads,
-                        pool, &bp);
+                        pool, &bp, config.prefetch_distance);
   } else {
     FPART_ASSIGN_OR_RETURN(pr, internal::HybridPartition(config.fpga, r));
     FPART_ASSIGN_OR_RETURN(ps, internal::HybridPartition(config.fpga, s));
     bp = ParallelBuildProbe(pr.output, ps.output, config.num_threads, pool,
-                            static_cast<const T*>(nullptr));
+                            static_cast<const T*>(nullptr),
+                            config.prefetch_distance);
   }
 
   double build_probe = bp.wall_seconds;

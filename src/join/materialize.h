@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "datagen/partitioned_output.h"
+#include "join/build_probe.h"
 #include "join/hash_table.h"
 
 namespace fpart {
@@ -68,11 +69,12 @@ MaterializedJoin MaterializeJoin(const RPart& r, const SPart& s,
       size_t r_slots = r.partition_slots(p);
       size_t s_slots = s.partition_slots(p);
       if (r_slots == 0 || s_slots == 0) continue;
-      table.Reset(r_slots);
-      for (size_t i = 0; i < r_slots; ++i) {
-        if (!IsDummy(r_data[i])) table.Insert(r_data, uint32_t(i));
-      }
+      BuildPartitionTable(&table, r_data, r_slots);
       for (size_t j = 0; j < s_slots; ++j) {
+        if (j + kDefaultProbePrefetchDistance < s_slots &&
+            !IsDummy(s_data[j + kDefaultProbePrefetchDistance])) {
+          table.PrefetchBucket(s_data[j + kDefaultProbePrefetchDistance].key);
+        }
         if (IsDummy(s_data[j])) continue;
         table.Probe(r_data, s_data[j].key, [&](uint32_t i) {
           out.push_back(JoinedRow{static_cast<uint32_t>(s_data[j].key),

@@ -81,6 +81,12 @@ Result<JoinResult> NoPartitionJoin(size_t num_threads, const Relation<T>& r,
     size_t end = s.size() * (t + 1) / num_threads;
     uint64_t m = 0, sum = 0;
     for (size_t j = begin; j < end; ++j) {
+      // The global table guarantees a miss per probe; keep a window of
+      // bucket-head loads in flight (same lookahead as the radix probe).
+      if (j + kDefaultProbePrefetchDistance < end) {
+        PrefetchForRead(
+            &buckets[bucket_of(s_data[j + kDefaultProbePrefetchDistance].key)]);
+      }
       uint64_t key = s_data[j].key;
       for (int64_t i = buckets[bucket_of(key)].load(std::memory_order_acquire);
            i >= 0; i = next[i]) {

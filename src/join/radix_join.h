@@ -22,6 +22,11 @@ struct CpuJoinConfig {
   size_t num_threads = 1;
   bool use_buffers = true;
   bool non_temporal = true;
+  /// Fused single-hash SIMD partitioning path (see CpuPartitionerConfig).
+  bool use_simd = true;
+  /// Software-prefetch lookahead for the partitioning scatter and the
+  /// build+probe bucket accesses (0 disables prefetching).
+  uint32_t prefetch_distance = 16;
   /// Shared worker pool; when null and num_threads > 1 the call constructs
   /// its own (benchmark loops should pass one and reuse it).
   ThreadPool* pool = nullptr;
@@ -51,6 +56,8 @@ Result<JoinResult> CpuRadixJoin(const CpuJoinConfig& config,
   pc.num_threads = config.num_threads;
   pc.use_buffers = config.use_buffers;
   pc.non_temporal = config.non_temporal;
+  pc.use_simd = config.use_simd;
+  pc.prefetch_distance = config.prefetch_distance;
 
   std::unique_ptr<ThreadPool> own_pool;
   ThreadPool* pool = config.pool;
@@ -67,7 +74,8 @@ Result<JoinResult> CpuRadixJoin(const CpuJoinConfig& config,
 
   BuildProbeStats bp = ParallelBuildProbe(pr.output, ps.output,
                                           config.num_threads, pool,
-                                          static_cast<const T*>(nullptr));
+                                          static_cast<const T*>(nullptr),
+                                          config.prefetch_distance);
 
   JoinResult result;
   result.matches = bp.matches;
