@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "common/cpu_features.h"
 #include "core/fpart.h"
+#include "obs/report.h"
 
 namespace fpart {
 namespace {
@@ -113,26 +114,22 @@ int JsonMain() {
 
   const double total = static_cast<double>(input->r.size() + input->s.size());
   auto mtps = [total](double s) { return s > 0 ? total / s / 1e6 : 0.0; };
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"ext_join_algorithms_json\",\n");
-  std::printf("  \"config\": \"workload A fanout=8192 threads=%zu\",\n",
-              threads);
-  std::printf("  \"n_tuples\": %llu,\n",
-              static_cast<unsigned long long>(total));
-  std::printf("  \"simd_level\": \"%s\",\n",
-              SimdLevelName(ActiveSimdLevel()));
-  std::printf("  \"radix_join_scalar\": {\"seconds\": %.6f, "
-              "\"mtuples_per_sec\": %.3f},\n",
-              radix_scalar, mtps(radix_scalar));
-  std::printf("  \"radix_join_fused_simd\": {\"seconds\": %.6f, "
-              "\"mtuples_per_sec\": %.3f},\n",
-              radix_fused, mtps(radix_fused));
-  std::printf("  \"no_partition_join\": {\"seconds\": %.6f, "
-              "\"mtuples_per_sec\": %.3f},\n",
-              np, mtps(np));
-  std::printf("  \"speedup\": %.2f\n",
-              radix_fused > 0 ? radix_scalar / radix_fused : 0.0);
-  std::printf("}\n");
+  obs::BenchReport report("ext_join_algorithms");
+  report.ConfigStr("workload", "A");
+  report.ConfigUInt("n_tuples", static_cast<uint64_t>(total));
+  report.ConfigUInt("fanout", 8192);
+  report.ConfigUInt("num_threads", threads);
+  report.ConfigStr("simd_level", SimdLevelName(ActiveSimdLevel()));
+  report.Result("radix_join_scalar", {{"seconds", radix_scalar},
+                                      {"mtuples_per_sec", mtps(radix_scalar)}});
+  report.Result("radix_join_fused_simd",
+                {{"seconds", radix_fused},
+                 {"mtuples_per_sec", mtps(radix_fused)}});
+  report.Result("no_partition_join",
+                {{"seconds", np}, {"mtuples_per_sec", mtps(np)}});
+  report.ResultDouble("speedup",
+                      radix_fused > 0 ? radix_scalar / radix_fused : 0.0);
+  report.Print();
   return 0;
 }
 
@@ -140,6 +137,7 @@ int JsonMain() {
 }  // namespace fpart
 
 int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) return fpart::JsonMain();
   }

@@ -16,6 +16,7 @@
 #include "cpu/partitioner.h"
 #include "datagen/workloads.h"
 #include "fpga/partitioner.h"
+#include "obs/report.h"
 
 namespace fpart {
 namespace {
@@ -102,22 +103,24 @@ int JsonMain(size_t n) {
   }
 
   auto mtps = [n](double s) { return s > 0 ? n / s / 1e6 : 0.0; };
+  obs::BenchReport report("micro_partition");
+  report.ConfigUInt("n_tuples", n);
+  report.ConfigUInt("fanout", 8192);
+  report.ConfigStr("hash", "radix");
+  report.ConfigStr("tuple", "Tuple8");
+  report.ConfigUInt("num_threads", 1);
+  report.ConfigStr("simd_level", SimdLevelName(ActiveSimdLevel()));
   auto row = [&](const char* name, const PhaseTimes& t) {
-    std::printf("  \"%s\": {\"seconds\": %.6f, \"mtuples_per_sec\": %.3f, "
-                "\"histogram_seconds\": %.6f, \"scatter_seconds\": %.6f},\n",
-                name, t.total, mtps(t.total), t.histogram, t.scatter);
+    report.Result(name, {{"seconds", t.total},
+                         {"mtuples_per_sec", mtps(t.total)},
+                         {"histogram_seconds", t.histogram},
+                         {"scatter_seconds", t.scatter}});
   };
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"micro_partition_json\",\n");
-  std::printf("  \"config\": \"radix fanout=8192 Tuple8 1 thread\",\n");
-  std::printf("  \"n_tuples\": %llu,\n", static_cast<unsigned long long>(n));
-  std::printf("  \"simd_level\": \"%s\",\n",
-              SimdLevelName(ActiveSimdLevel()));
   row("scalar", scalar);
   row("fused_simd", fused);
-  std::printf("  \"speedup\": %.2f\n",
-              fused.total > 0 ? scalar.total / fused.total : 0.0);
-  std::printf("}\n");
+  report.ResultDouble("speedup",
+                      fused.total > 0 ? scalar.total / fused.total : 0.0);
+  report.Print();
   return 0;
 }
 
@@ -125,6 +128,7 @@ int JsonMain(size_t n) {
 }  // namespace fpart
 
 int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       size_t n = 16'000'000;

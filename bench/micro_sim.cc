@@ -18,6 +18,7 @@
 #include "fpga/hash_lane.h"
 #include "fpga/partitioner.h"
 #include "fpga/write_combiner.h"
+#include "obs/report.h"
 #include "sim/bram.h"
 #include "sim/fifo.h"
 
@@ -132,24 +133,27 @@ int JsonMain(size_t n) {
   auto cycles_per_sec = [](uint64_t cycles, double seconds) {
     return seconds > 0 ? cycles / seconds : 0.0;
   };
-  std::printf("{\n");
-  std::printf("  \"benchmark\": \"micro_sim_json\",\n");
-  std::printf("  \"config\": \"PAD/RID fanout=8192 Tuple8\",\n");
-  std::printf("  \"n_tuples\": %llu,\n",
-              static_cast<unsigned long long>(n));
-  std::printf("  \"sim_cycles\": %llu,\n",
-              static_cast<unsigned long long>(fast.stats.cycles));
-  std::printf("  \"sim_seconds\": %.9f,\n", fast.seconds);
-  std::printf("  \"sim_mtuples_per_sec\": %.3f,\n", fast.mtuples_per_sec);
-  std::printf("  \"reference\": {\"host_seconds\": %.6f, "
-              "\"sim_cycles_per_sec\": %.0f},\n",
-              ref_host, cycles_per_sec(ref.stats.cycles, ref_host));
-  std::printf("  \"fast\": {\"host_seconds\": %.6f, "
-              "\"sim_cycles_per_sec\": %.0f},\n",
-              fast_host, cycles_per_sec(fast.stats.cycles, fast_host));
-  std::printf("  \"speedup\": %.2f\n", fast_host > 0 ? ref_host / fast_host
-                                                     : 0.0);
-  std::printf("}\n");
+  obs::BenchReport report("micro_sim");
+  report.ConfigUInt("n_tuples", n);
+  report.ConfigUInt("fanout", 8192);
+  report.ConfigStr("output_mode", "pad");
+  report.ConfigStr("layout", "rid");
+  report.ConfigStr("tuple", "Tuple8");
+  report.Result("simulated",
+                {{"cycles", static_cast<double>(fast.stats.cycles)},
+                 {"seconds", fast.seconds},
+                 {"mtuples_per_sec", fast.mtuples_per_sec}});
+  report.Result("reference_engine",
+                {{"host_seconds", ref_host},
+                 {"sim_cycles_per_sec",
+                  cycles_per_sec(ref.stats.cycles, ref_host)}});
+  report.Result("fast_engine",
+                {{"host_seconds", fast_host},
+                 {"sim_cycles_per_sec",
+                  cycles_per_sec(fast.stats.cycles, fast_host)}});
+  report.ResultDouble("speedup",
+                      fast_host > 0 ? ref_host / fast_host : 0.0);
+  report.Print();
   return 0;
 }
 
@@ -157,6 +161,7 @@ int JsonMain(size_t n) {
 }  // namespace fpart
 
 int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       size_t n = 10'000'000;

@@ -2,7 +2,9 @@
 # Measure the CPU fast paths (fused single-hash SIMD partitioning vs the
 # scalar two-pass baseline, plus the downstream radix join) and record the
 # result as BENCH_cpu.json at the repo root. The partition config is the
-# fig04 radix setup: fanout 8192, Tuple8, one thread.
+# fig04 radix setup: fanout 8192, Tuple8, one thread. Both nested documents
+# follow the fpart.obs.v1 schema (docs/observability.md); flatten with
+# scripts/bench_to_csv.py.
 # Usage: scripts/bench_cpu.sh [build_dir] [n_tuples]
 set -eu
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Measure host-side simulator throughput (reference vs fast execution
 # engine) on a 10M-tuple RID/PAD run and record it as BENCH_sim.json at
-# the repo root. Usage: scripts/bench_sim.sh [build_dir] [n_tuples]
+# the repo root. The document follows the fpart.obs.v1 schema
+# (docs/observability.md); flatten with scripts/bench_to_csv.py.
+# Usage: scripts/bench_sim.sh [build_dir] [n_tuples]
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)

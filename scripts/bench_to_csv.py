@@ -1,15 +1,28 @@
 #!/usr/bin/env python3
-"""Split a bench_output.txt produced by `for b in build/bench/*; do $b; done`
-into one CSV-ish .txt per experiment, for plotting.
+"""Flatten bench outputs into CSV files for plotting.
+
+Two input formats are recognized automatically:
+
+* fpart.obs.v1 JSON (BENCH_cpu.json / BENCH_sim.json, or any bench's
+  `--json` output; see docs/observability.md). Every document becomes
+  <outdir>/<benchmark>.csv with the columns
+
+      section,name,field,value
+
+  where section is config/results/metrics, name the knob / measurement /
+  metric name, and field the sub-field (e.g. "seconds", "p99", or "" for
+  scalars). Wrapper objects that nest several documents (bench_cpu.sh
+  emits {"partition": {...}, "join": {...}}) are unpacked.
+
+* Legacy text tables from `for b in build/bench/*; do $b; done`: each
+  `======== <name>` section is written to <outdir>/<name>.txt verbatim and
+  table-looking lines are normalized into <outdir>/<name>.csv.
 
 Usage:
+    python3 scripts/bench_to_csv.py BENCH_cpu.json [outdir]
     python3 scripts/bench_to_csv.py bench_output.txt [outdir]
-
-Each `======== <name>` section is written to <outdir>/<name>.txt verbatim;
-table-looking lines (those containing '|' or runs of 2+ spaces between
-fields) are additionally normalized into <outdir>/<name>.csv with
-comma-separated fields.
 """
+import json
 import os
 import re
 import sys
@@ -30,14 +43,50 @@ def normalize_row(line: str):
     return cells if len(cells) >= 3 else None
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 1
-    src = sys.argv[1]
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
-    os.makedirs(outdir, exist_ok=True)
+def iter_obs_documents(doc):
+    """Yield (label, document) for every fpart.obs.v1 document in `doc`."""
+    if not isinstance(doc, dict):
+        return
+    if doc.get("schema") == "fpart.obs.v1":
+        yield doc.get("benchmark", "bench"), doc
+        return
+    for key, value in doc.items():
+        if isinstance(value, dict) and value.get("schema") == "fpart.obs.v1":
+            yield value.get("benchmark", key), value
 
+
+def flatten_obs(doc):
+    """Yield (section, name, field, value) rows of one fpart.obs.v1 doc."""
+    for name, value in doc.get("config", {}).items():
+        yield "config", name, "", value
+    for name, value in doc.get("results", {}).items():
+        if isinstance(value, dict):
+            for field, v in value.items():
+                yield "results", name, field, v
+        else:
+            yield "results", name, "", value
+    for name, value in doc.get("metrics", {}).items():
+        if not isinstance(value, dict):
+            continue
+        for field, v in value.items():
+            if field in ("type", "unit"):
+                continue
+            yield "metrics", name, field, v
+
+
+def write_obs_csv(docs, outdir):
+    written = 0
+    for label, doc in docs:
+        path = os.path.join(outdir, f"{label}.csv")
+        with open(path, "w") as f:
+            f.write("section,name,field,value\n")
+            for section, name, field, value in flatten_obs(doc):
+                f.write(f"{section},{name},{field},{value}\n")
+        written += 1
+    return written
+
+
+def write_text_sections(src, outdir):
     sections = {}
     name = "preamble"
     for line in open(src, encoding="utf-8", errors="replace"):
@@ -62,6 +111,32 @@ def main() -> int:
                     f.write(",".join(c.replace(",", ";") for c in r +
                                      [""] * (width - len(r))) + "\n")
         written += 1
+    return written
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    src = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "bench_csv"
+    os.makedirs(outdir, exist_ok=True)
+
+    text = open(src, encoding="utf-8", errors="replace").read()
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+
+    if doc is not None:
+        docs = list(iter_obs_documents(doc))
+        if not docs:
+            print(f"{src}: JSON but no fpart.obs.v1 documents found",
+                  file=sys.stderr)
+            return 1
+        written = write_obs_csv(docs, outdir)
+    else:
+        written = write_text_sections(src, outdir)
     print(f"wrote {written} sections to {outdir}/")
     return 0
 

@@ -4,11 +4,17 @@
 # -march=native, and repeats the suite with FPART_SIMD forcing each
 # dispatch fallback tier — so the scalar, AVX2 and (where present) AVX-512
 # paths are all exercised regardless of the build host.
-# Usage: scripts/check.sh [jobs]
+#
+# Usage: scripts/check.sh [jobs] [suite...]
+#   suite: any of default, asan, native (all three when omitted).
+#   CI runs one suite per matrix job: scripts/check.sh "" default
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+jobs=${1:-}
+[ -n "$jobs" ] || jobs=$(nproc 2>/dev/null || echo 4)
+[ $# -gt 0 ] && shift
+suites=${*:-"default asan native"}
 
 run_suite() {
   build_dir=$1
@@ -28,8 +34,13 @@ run_suite() {
   done
 }
 
-run_suite "$repo_root/build-check"
-run_suite "$repo_root/build-check-asan" -DFPART_SANITIZE=ON
-run_suite "$repo_root/build-check-native" -DFPART_MARCH_NATIVE=ON
+for suite in $suites; do
+  case "$suite" in
+    default) run_suite "$repo_root/build-check" ;;
+    asan)    run_suite "$repo_root/build-check-asan" -DFPART_SANITIZE=ON ;;
+    native)  run_suite "$repo_root/build-check-native" -DFPART_MARCH_NATIVE=ON ;;
+    *) echo "unknown suite '$suite' (default|asan|native)" >&2; exit 2 ;;
+  esac
+done
 
-echo "check.sh: all builds and test tiers passed"
+echo "check.sh: suites passed: $suites"

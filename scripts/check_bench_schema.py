@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate that the bench binaries' --json output follows the documented
+fpart.obs.v1 envelope (docs/observability.md).
+
+Runs micro_sim, micro_partition and ext_join_algorithms in --json mode
+(small workloads) and asserts, for each document:
+
+* the envelope keys schema/benchmark/config/results/metrics, with
+  schema == "fpart.obs.v1";
+* every metrics entry carries type + unit, counters a "value", histograms
+  count/sum/min/max/mean/p50/p99;
+* the metric names each binary is documented to emit are present.
+
+Usage: python3 scripts/check_bench_schema.py [--bindir build/bench]
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+ENVELOPE_KEYS = ["schema", "benchmark", "config", "results", "metrics"]
+
+# Binary -> (args, metric names its run must publish).
+CASES = {
+    "micro_sim": (["--json", "200000"],
+                  ["sim.runs", "sim.cycles", "sim.flush_drain_cycles",
+                   "sim.hash_lane.input_lines",
+                   "sim.write_combiner.stall_cycles",
+                   "sim.write_back.dummy_tuples", "qpi.read_lines",
+                   "qpi.write_lines", "qpi.read_stall_cycles",
+                   "qpi.write_stall_cycles", "qpi.bytes"]),
+    "micro_partition": (["--json", "1000000"],
+                        ["cpu.partition.runs", "cpu.partition.tuples",
+                         "cpu.partition.histogram_us",
+                         "cpu.partition.scatter_us"]),
+    "ext_join_algorithms": (["--json"],
+                            ["join.radix.runs", "join.matches",
+                             "cpu.partition.runs"]),
+}
+
+HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p99"]
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(name: str, doc: dict, expected_metrics) -> None:
+    for key in ENVELOPE_KEYS:
+        if key not in doc:
+            fail(f"{name}: envelope key '{key}' missing")
+    if doc["schema"] != "fpart.obs.v1":
+        fail(f"{name}: schema is {doc['schema']!r}, not 'fpart.obs.v1'")
+    if not isinstance(doc["config"], dict) or not doc["config"]:
+        fail(f"{name}: config must be a non-empty object")
+    if not isinstance(doc["results"], dict) or not doc["results"]:
+        fail(f"{name}: results must be a non-empty object")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        fail(f"{name}: metrics must be an object")
+    for mname, m in metrics.items():
+        if "type" not in m or "unit" not in m:
+            fail(f"{name}: metric {mname} lacks type/unit")
+        if m["type"] in ("counter",) and "value" not in m:
+            fail(f"{name}: counter {mname} lacks value")
+        if m["type"] == "histogram":
+            for field in HISTOGRAM_FIELDS:
+                if field not in m:
+                    fail(f"{name}: histogram {mname} lacks {field}")
+    for mname in expected_metrics:
+        if mname not in metrics:
+            fail(f"{name}: documented metric '{mname}' missing "
+                 f"(have: {sorted(metrics)})")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--bindir", default="build/bench")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    # Small join workload so the check stays fast.
+    env.setdefault("FPART_SCALE", "0.0625")
+
+    checked = 0
+    for binary, (argv, expected) in CASES.items():
+        path = os.path.join(args.bindir, binary)
+        if not os.path.exists(path):
+            fail(f"{path} not built")
+        proc = subprocess.run([path] + argv, capture_output=True, text=True,
+                              env=env, timeout=600)
+        if proc.returncode != 0:
+            fail(f"{binary} exited {proc.returncode}: {proc.stderr}")
+        try:
+            doc = json.loads(proc.stdout)
+        except ValueError as e:
+            fail(f"{binary}: output is not valid JSON ({e}):\n{proc.stdout}")
+        validate(binary, doc, expected)
+        checked += 1
+    print(f"OK: {checked} bench JSON documents match fpart.obs.v1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

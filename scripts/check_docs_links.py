@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in docs/ and the top-level .md
+files points at a file that exists.
+
+External links (http/https/mailto) are skipped — CI must not depend on the
+network. Pure anchors (#section) are skipped too; anchors on relative
+links are checked for the file part only.
+
+Usage: python3 scripts/check_docs_links.py [repo_root]
+Exit status: 0 when every link resolves, 1 otherwise (each breakage is
+printed as file:line: message).
+"""
+import glob
+import os
+import re
+import sys
+
+# [text](target) — excluding images' extra '!' matters not for existence.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md_path: str, repo_root: str):
+    errors = []
+    base = os.path.dirname(md_path)
+    in_code_fence = False
+    for lineno, line in enumerate(
+            open(md_path, encoding="utf-8", errors="replace"), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(repo_root, path[1:]) if path.startswith("/")
+                else os.path.join(base, path))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(md_path, repo_root)
+                errors.append(f"{rel}:{lineno}: broken link '{target}' "
+                              f"(resolved to {resolved})")
+    return errors
+
+
+def main() -> int:
+    repo_root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1 else
+        os.path.join(os.path.dirname(__file__), ".."))
+    md_files = sorted(
+        glob.glob(os.path.join(repo_root, "*.md")) +
+        glob.glob(os.path.join(repo_root, "docs", "**", "*.md"),
+                  recursive=True))
+    if not md_files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    errors = []
+    for md in md_files:
+        errors.extend(check_file(md, repo_root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(md_files)} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@
 #include "datagen/relation.h"
 #include "fpga/config.h"
 #include "fpga/partitioner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fpart {
 
@@ -69,6 +71,11 @@ struct PartitionReport {
 template <typename T>
 Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
                                         const Relation<T>& relation) {
+  obs::TraceSpan span("engine.partition", "engine");
+  obs::Registry::Global()
+      .GetCounter("engine.partition_requests", "requests",
+                  "RunPartition calls (either engine)")
+      ->Add();
   PartitionReport<T> report;
   report.engine = request.engine;
   if (request.engine == Engine::kCpu) {

@@ -25,6 +25,8 @@
 #include "datagen/tuple.h"
 #include "hash/hash_function.h"
 #include "hash/simd_hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -486,12 +488,16 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
       FusedHistogram(fn, tuples, begin, end, hist[t].data(), idx32.data());
     }
   };
-  if (num_threads == 1) {
-    histogram_chunk(0);
-  } else {
-    pool->ParallelFor(num_threads, histogram_chunk);
+  double hist_seconds;
+  {
+    obs::TraceSpan span("cpu.partition.histogram", "cpu");
+    if (num_threads == 1) {
+      histogram_chunk(0);
+    } else {
+      pool->ParallelFor(num_threads, histogram_chunk);
+    }
+    hist_seconds = timer.Seconds();
   }
-  double hist_seconds = timer.Seconds();
 
   // --- Prefix sums: partition bases (cache-line granular so partitions
   // start aligned) and per-thread cursors within each partition.
@@ -530,12 +536,16 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
                    cursor[t].data(), out_base, config);
     }
   };
-  if (num_threads == 1) {
-    scatter_chunk(0);
-  } else {
-    pool->ParallelFor(num_threads, scatter_chunk);
+  double scatter_seconds;
+  {
+    obs::TraceSpan span("cpu.partition.scatter", "cpu");
+    if (num_threads == 1) {
+      scatter_chunk(0);
+    } else {
+      pool->ParallelFor(num_threads, scatter_chunk);
+    }
+    scatter_seconds = scatter_timer.Seconds();
   }
-  double scatter_seconds = scatter_timer.Seconds();
   double seconds = hist_seconds + scatter_seconds;
 
   CpuRunResult<T> result;
@@ -557,6 +567,26 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
   result.histogram = std::move(part_total);
   result.seconds = seconds;
   result.mtuples_per_sec = seconds > 0 ? n / seconds / 1e6 : 0.0;
+
+  // Publish the run to the metrics registry — after the timed phases, so
+  // the hot loops above never see the instrumentation.
+  {
+    auto& reg = obs::Registry::Global();
+    static obs::Counter* const runs = reg.GetCounter(
+        "cpu.partition.runs", "runs", "CPU partitioning runs completed");
+    static obs::Counter* const tuples_total = reg.GetCounter(
+        "cpu.partition.tuples", "tuples", "tuples partitioned on the CPU");
+    static obs::Histogram* const hist_us = reg.GetHistogram(
+        "cpu.partition.histogram_us", "us",
+        "histogram-phase wall time per run");
+    static obs::Histogram* const scatter_us = reg.GetHistogram(
+        "cpu.partition.scatter_us", "us",
+        "scatter-phase wall time per run");
+    runs->Add();
+    tuples_total->Add(n);
+    hist_us->Record(static_cast<uint64_t>(hist_seconds * 1e6));
+    scatter_us->Record(static_cast<uint64_t>(scatter_seconds * 1e6));
+  }
   return result;
 }
 

@@ -156,6 +156,7 @@ class FastCircuit {
     }
 
     // --- Flush: one (combiner, partition) BRAM address per cycle.
+    const uint64_t flush_start_cycles = stats->cycles;
     for (int c = 0; c < K; ++c) {
       uint32_t p = 0;
       while (p < fanout_) {
@@ -180,6 +181,7 @@ class FastCircuit {
       WriteBackTick(link, stats, output);
       if (overflowed_) return OverflowStatus();
     }
+    stats->flush_cycles += stats->cycles - flush_start_cycles;
 
     for (int c = 0; c < K; ++c) {
       stats->internal_stall_cycles += lanes_[c].stall_cycles;
@@ -249,6 +251,7 @@ class FastCircuit {
         ++stats->read_lines;
       } else {
         ++stats->backpressure_cycles;
+        ++stats->read_stall_cycles;
       }
     }
     // Emergence: tuples inserted lat_ cycles ago become visible. A group
@@ -556,6 +559,7 @@ class FastCircuit {
         wb_valid_ = false;
       } else {
         ++stats->backpressure_cycles;
+        ++stats->write_stall_cycles;
       }
     }
   }

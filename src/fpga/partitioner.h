@@ -34,6 +34,8 @@
 #include "fpga/write_back.h"
 #include "fpga/write_combiner.h"
 #include "hash/hash_function.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qpi/qpi_link.h"
 #include "sim/stats.h"
 
@@ -162,6 +164,7 @@ class FpgaPartitioner {
         ++stats->read_lines;
       } else {
         ++stats->backpressure_cycles;
+        ++stats->read_stall_cycles;
       }
     }
     bool ready = !staging->empty();
@@ -219,6 +222,9 @@ class FpgaPartitioner {
       // Computing the prefix sum over the histogram BRAM costs one pass
       // over the partitions (Section 4.3).
       result.stats.cycles += config_.fanout;
+      // Engine-agnostic phase boundary: everything so far (pass 1 + prefix
+      // sum) is the histogram share of the run.
+      result.stats.histogram_cycles = result.stats.cycles;
     } else {
       // PAD mode: #Tuples/#Partitions + Padding, rounded up to cache lines.
       // Every combiner can leave one partially filled line per partition at
@@ -252,7 +258,62 @@ class FpgaPartitioner {
             ? static_cast<double>(link.reads_granted()) /
                   static_cast<double>(link.writes_granted())
             : 0.0;
+    PublishRunObservability(result.stats);
     return result;
+  }
+
+  /// Export one run's cycle counters to the global metrics registry (the
+  /// `sim.*` / `qpi.*` catalogue of docs/observability.md — cumulative
+  /// across runs in this process) and, when tracing is on, its per-pass
+  /// spans on a simulated timeline.
+  static void PublishRunObservability(const CycleStats& stats) {
+    auto& reg = obs::Registry::Global();
+    static obs::Counter* const runs = reg.GetCounter(
+        "sim.runs", "runs", "simulated partitioning runs completed");
+    static obs::Counter* const cycles = reg.GetCounter(
+        "sim.cycles", "cycles", "total simulated clock cycles");
+    static obs::Counter* const hist_cycles = reg.GetCounter(
+        "sim.histogram_pass_cycles", "cycles",
+        "HIST pass 1 + prefix-sum share of sim.cycles");
+    static obs::Counter* const flush_cycles = reg.GetCounter(
+        "sim.flush_drain_cycles", "cycles",
+        "flush + drain epilogue share of sim.cycles");
+    static obs::Counter* const input_lines = reg.GetCounter(
+        "sim.hash_lane.input_lines", "cache_lines",
+        "input lines accepted into the hash lanes");
+    static obs::Counter* const wc_stalls = reg.GetCounter(
+        "sim.write_combiner.stall_cycles", "cycles",
+        "internal pipeline stalls (0 under the forwarding policy)");
+    static obs::Counter* const dummies = reg.GetCounter(
+        "sim.write_back.dummy_tuples", "tuples",
+        "padding tuples emitted by the flush");
+    static obs::Counter* const read_lines = reg.GetCounter(
+        "qpi.read_lines", "cache_lines", "cache lines read over QPI");
+    static obs::Counter* const write_lines = reg.GetCounter(
+        "qpi.write_lines", "cache_lines",
+        "cache lines written back over QPI");
+    static obs::Counter* const read_stalls = reg.GetCounter(
+        "qpi.read_stall_cycles", "cycles",
+        "cycles a pending read found no bandwidth token (Figure 2 bound)");
+    static obs::Counter* const write_stalls = reg.GetCounter(
+        "qpi.write_stall_cycles", "cycles",
+        "cycles a pending write-back line found no bandwidth token");
+    static obs::Counter* const bytes = reg.GetCounter(
+        "qpi.bytes", "bytes", "total bytes moved over QPI");
+    runs->Add();
+    cycles->Add(stats.cycles);
+    hist_cycles->Add(stats.histogram_cycles);
+    flush_cycles->Add(stats.flush_cycles);
+    input_lines->Add(stats.input_lines);
+    wc_stalls->Add(stats.internal_stall_cycles);
+    dummies->Add(stats.dummy_tuples);
+    read_lines->Add(stats.read_lines);
+    write_lines->Add(stats.output_lines);
+    read_stalls->Add(stats.read_stall_cycles);
+    write_stalls->Add(stats.write_stall_cycles);
+    bytes->Add((stats.read_lines + stats.output_lines) * kCacheLineSize);
+    obs::AddSimRunTrace(stats.cycles, stats.histogram_cycles,
+                        stats.flush_cycles, kFpgaClockHz);
   }
 
   /// HIST pass 1: scan the relation and build per-lane histograms; nothing
@@ -362,6 +423,7 @@ class FpgaPartitioner {
     // --- Flush: scan every (combiner, partition) BRAM address at one per
     // cycle (the cwritecomb = K·#partitions latency term of Table 3),
     // emitting padded partial lines.
+    const uint64_t flush_start_cycles = stats->cycles;
     for (int c = 0; c < K; ++c) {
       uint32_t p = 0;
       while (p < config_.fanout) {
@@ -393,6 +455,7 @@ class FpgaPartitioner {
       write_back.Tick(link, stats);
       if (write_back.overflowed()) return overflow_status();
     }
+    stats->flush_cycles += stats->cycles - flush_start_cycles;
 
     // --- Invariant checks: the circuit claims zero internal stalls and no
     // lost data under the forwarding policy.

@@ -71,6 +71,7 @@ class WriteBackModule {
         pending_valid_ = false;
       } else {
         ++stats->backpressure_cycles;
+        ++stats->write_stall_cycles;
       }
     }
   }

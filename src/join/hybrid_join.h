@@ -19,6 +19,8 @@
 #include "fpga/partitioner.h"
 #include "join/build_probe.h"
 #include "join/radix_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qpi/coherence.h"
 
 namespace fpart {
@@ -91,24 +93,38 @@ Result<JoinResult> HybridJoin(const HybridJoinConfig& config,
   BuildProbeStats bp;
   if (config.overlap_partitioning) {
     // R must be partitioned before anything can be built over it.
-    FPART_ASSIGN_OR_RETURN(pr, internal::HybridPartition(config.fpga, r));
+    {
+      obs::TraceSpan span("hybrid.partition_r", "join");
+      FPART_ASSIGN_OR_RETURN(pr, internal::HybridPartition(config.fpga, r));
+    }
     // S's partitioning simulation runs on a dedicated host thread while
     // the pool builds tables over R's partitions.
     Result<FpgaRunResult<T>> s_run = Status::Internal("S pass not run");
     std::thread s_sim([&] {
+      obs::TraceSpan span("hybrid.partition_s", "join");
       s_run = internal::HybridPartition(config.fpga, s);
     });
-    auto tables = ParallelBuildTables(pr.output, config.num_threads, pool,
-                                      &bp, static_cast<const T*>(nullptr),
-                                      config.prefetch_distance,
-                                      config.s_histogram);
-    s_sim.join();
-    FPART_ASSIGN_OR_RETURN(ps, std::move(s_run));
-    ParallelProbeTables(pr.output, ps.output, tables, config.num_threads,
-                        pool, &bp, config.prefetch_distance);
+    {
+      obs::TraceSpan span("hybrid.build_probe", "join");
+      auto tables = ParallelBuildTables(pr.output, config.num_threads, pool,
+                                        &bp, static_cast<const T*>(nullptr),
+                                        config.prefetch_distance,
+                                        config.s_histogram);
+      s_sim.join();
+      FPART_ASSIGN_OR_RETURN(ps, std::move(s_run));
+      ParallelProbeTables(pr.output, ps.output, tables, config.num_threads,
+                          pool, &bp, config.prefetch_distance);
+    }
   } else {
-    FPART_ASSIGN_OR_RETURN(pr, internal::HybridPartition(config.fpga, r));
-    FPART_ASSIGN_OR_RETURN(ps, internal::HybridPartition(config.fpga, s));
+    {
+      obs::TraceSpan span("hybrid.partition_r", "join");
+      FPART_ASSIGN_OR_RETURN(pr, internal::HybridPartition(config.fpga, r));
+    }
+    {
+      obs::TraceSpan span("hybrid.partition_s", "join");
+      FPART_ASSIGN_OR_RETURN(ps, internal::HybridPartition(config.fpga, s));
+    }
+    obs::TraceSpan span("hybrid.build_probe", "join");
     bp = ParallelBuildProbe(pr.output, ps.output, config.num_threads, pool,
                             static_cast<const T*>(nullptr),
                             config.prefetch_distance);
@@ -129,6 +145,12 @@ Result<JoinResult> HybridJoin(const HybridJoinConfig& config,
       build_probe *= factor;
     }
   }
+
+  auto& reg = obs::Registry::Global();
+  reg.GetCounter("join.hybrid.runs", "runs", "hybrid joins completed")->Add();
+  reg.GetCounter("join.matches", "tuples",
+                 "join result tuples (radix + hybrid)")
+      ->Add(bp.matches);
 
   JoinResult result;
   result.matches = bp.matches;

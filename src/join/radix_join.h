@@ -11,6 +11,8 @@
 #include "cpu/partitioner.h"
 #include "datagen/relation.h"
 #include "join/build_probe.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fpart {
 
@@ -67,15 +69,29 @@ Result<JoinResult> CpuRadixJoin(const CpuJoinConfig& config,
   }
   pc.pool = pool;
 
-  FPART_ASSIGN_OR_RETURN(CpuRunResult<T> pr,
-                         CpuPartition(pc, r.data(), r.size()));
-  FPART_ASSIGN_OR_RETURN(CpuRunResult<T> ps,
-                         CpuPartition(pc, s.data(), s.size()));
+  CpuRunResult<T> pr, ps;
+  {
+    obs::TraceSpan span("join.radix.partition_r", "join");
+    FPART_ASSIGN_OR_RETURN(pr, CpuPartition(pc, r.data(), r.size()));
+  }
+  {
+    obs::TraceSpan span("join.radix.partition_s", "join");
+    FPART_ASSIGN_OR_RETURN(ps, CpuPartition(pc, s.data(), s.size()));
+  }
 
-  BuildProbeStats bp = ParallelBuildProbe(pr.output, ps.output,
-                                          config.num_threads, pool,
-                                          static_cast<const T*>(nullptr),
-                                          config.prefetch_distance);
+  BuildProbeStats bp;
+  {
+    obs::TraceSpan span("join.radix.build_probe", "join");
+    bp = ParallelBuildProbe(pr.output, ps.output, config.num_threads, pool,
+                            static_cast<const T*>(nullptr),
+                            config.prefetch_distance);
+  }
+  auto& reg = obs::Registry::Global();
+  reg.GetCounter("join.radix.runs", "runs", "CPU radix joins completed")
+      ->Add();
+  reg.GetCounter("join.matches", "tuples",
+                 "join result tuples (radix + hybrid)")
+      ->Add(bp.matches);
 
   JoinResult result;
   result.matches = bp.matches;

@@ -1,0 +1,153 @@
+// Minimal streaming JSON writer used by the observability exports (metric
+// snapshots, bench reports, Chrome trace files). Handles escaping, comma
+// placement and indentation; no DOM, no allocation beyond the output
+// string. Not a general-purpose serializer — just enough for the
+// `fpart.obs.v1` schema documented in docs/observability.md.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpart::obs {
+
+/// \brief Append-only JSON builder with correct escaping and commas.
+class JsonWriter {
+ public:
+  /// \param out     destination (appended to, not cleared)
+  /// \param indent  spaces per nesting level; 0 emits compact one-line JSON
+  explicit JsonWriter(std::string* out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  void BeginObject() {
+    Prefix();
+    out_->push_back('{');
+    stack_.push_back({/*array=*/false, /*count=*/0});
+  }
+  void EndObject() { End('}'); }
+  void BeginArray() {
+    Prefix();
+    out_->push_back('[');
+    stack_.push_back({/*array=*/true, /*count=*/0});
+  }
+  void EndArray() { End(']'); }
+
+  /// Object member key; must be followed by exactly one value.
+  void Key(std::string_view key) {
+    Prefix();
+    WriteEscaped(key);
+    out_->append(indent_ > 0 ? ": " : ":");
+    pending_value_ = true;
+  }
+
+  void String(std::string_view v) {
+    Prefix();
+    WriteEscaped(v);
+  }
+  void UInt(uint64_t v) {
+    Prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out_->append(buf);
+  }
+  void Int(int64_t v) {
+    Prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_->append(buf);
+  }
+  /// Non-finite doubles (which JSON cannot represent) are emitted as 0.
+  void Double(double v) {
+    Prefix();
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_->append(buf);
+  }
+  void Bool(bool v) {
+    Prefix();
+    out_->append(v ? "true" : "false");
+  }
+  void Null() {
+    Prefix();
+    out_->append("null");
+  }
+
+  /// Raw pre-rendered JSON (e.g. a nested document) as one value.
+  void Raw(std::string_view json) {
+    Prefix();
+    out_->append(json);
+  }
+
+  // Key+value conveniences.
+  void KV(std::string_view k, std::string_view v) { Key(k), String(v); }
+  void KV(std::string_view k, const char* v) { Key(k), String(v); }
+  void KV(std::string_view k, uint64_t v) { Key(k), UInt(v); }
+  void KV(std::string_view k, int v) { Key(k), Int(v); }
+  void KV(std::string_view k, double v) { Key(k), Double(v); }
+  void KV(std::string_view k, bool v) { Key(k), Bool(v); }
+
+ private:
+  struct Frame {
+    bool array;
+    size_t count;
+  };
+
+  /// Emit the separator/newline/indent owed before the next token.
+  void Prefix() {
+    if (pending_value_) {
+      // Value directly after its key: no comma, no newline.
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    Frame& top = stack_.back();
+    if (top.count++ > 0) out_->push_back(',');
+    NewlineIndent(stack_.size());
+  }
+
+  void End(char close) {
+    const bool had_members = !stack_.empty() && stack_.back().count > 0;
+    stack_.pop_back();
+    if (had_members) NewlineIndent(stack_.size());
+    out_->push_back(close);
+  }
+
+  void NewlineIndent(size_t depth) {
+    if (indent_ <= 0) return;
+    out_->push_back('\n');
+    out_->append(depth * static_cast<size_t>(indent_), ' ');
+  }
+
+  void WriteEscaped(std::string_view s) {
+    out_->push_back('"');
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out_->append("\\\""); break;
+        case '\\': out_->append("\\\\"); break;
+        case '\n': out_->append("\\n"); break;
+        case '\r': out_->append("\\r"); break;
+        case '\t': out_->append("\\t"); break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_->append(buf);
+          } else {
+            out_->push_back(static_cast<char>(c));
+          }
+      }
+    }
+    out_->push_back('"');
+  }
+
+  std::string* out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace fpart::obs

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace fpart::obs {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+uint64_t Histogram::Data::PercentileUpperBound(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(p * static_cast<double>(count - 1)) + 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) {
+      // Bucket 0 holds only the value 0; bucket b >= 1 tops out at 2^b - 1.
+      if (b == 0) return 0;
+      if (b >= 64) return UINT64_MAX;
+      const uint64_t upper = (uint64_t{1} << b) - 1;
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
+Registry& Registry::Global() {
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name,
+                                        std::string_view unit,
+                                        std::string_view help,
+                                        MetricType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) return e->type == type ? e.get() : nullptr;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->unit = std::string(unit);
+  entry->help = std::string(help);
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter.reset(new Counter());
+      break;
+    case MetricType::kGauge:
+      entry->gauge.reset(new Gauge());
+      break;
+    case MetricType::kHistogram:
+      entry->histogram.reset(new Histogram());
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view unit,
+                              std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kCounter);
+  if (e != nullptr) return e->counter.get();
+  static Counter* const dummy = new Counter();
+  return dummy;
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view unit,
+                          std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kGauge);
+  if (e != nullptr) return e->gauge.get();
+  static Gauge* const dummy = new Gauge();
+  return dummy;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, std::string_view unit,
+                                  std::string_view help) {
+  Entry* e = FindOrCreate(name, unit, help, MetricType::kHistogram);
+  if (e != nullptr) return e->histogram.get();
+  static Histogram* const dummy = new Histogram();
+  return dummy;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricValue v;
+    v.name = e->name;
+    v.unit = e->unit;
+    v.type = e->type;
+    switch (e->type) {
+      case MetricType::kCounter:
+        v.value = e->counter->Value();
+        break;
+      case MetricType::kGauge:
+        v.gauge = e->gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        v.hist = e->histogram->Merged();
+        break;
+    }
+    snapshot.metrics.push_back(std::move(v));
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    switch (e->type) {
+      case MetricType::kCounter: e->counter->Reset(); break;
+      case MetricType::kGauge: e->gauge->Reset(); break;
+      case MetricType::kHistogram: e->histogram->Reset(); break;
+    }
+  }
+}
+
+void Snapshot::WriteJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (const MetricValue& m : metrics) {
+    w->Key(m.name);
+    w->BeginObject();
+    w->KV("type", MetricTypeName(m.type));
+    w->KV("unit", m.unit);
+    switch (m.type) {
+      case MetricType::kCounter:
+        w->KV("value", m.value);
+        break;
+      case MetricType::kGauge:
+        w->KV("value", m.gauge);
+        break;
+      case MetricType::kHistogram:
+        w->KV("count", m.hist.count);
+        w->KV("sum", m.hist.sum);
+        w->KV("min", m.hist.min);
+        w->KV("max", m.hist.max);
+        w->KV("mean", m.hist.Mean());
+        w->KV("p50", m.hist.PercentileUpperBound(0.50));
+        w->KV("p99", m.hist.PercentileUpperBound(0.99));
+        break;
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+std::string Snapshot::ToJson(int indent) const {
+  std::string out;
+  JsonWriter w(&out, indent);
+  WriteJson(&w);
+  return out;
+}
+
+const MetricValue* Snapshot::Find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace fpart::obs

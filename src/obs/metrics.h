@@ -1,0 +1,285 @@
+// Process-wide metrics registry: named counters, gauges and histograms.
+//
+// Hot-path design (docs/observability.md): every metric is sharded across
+// kNumShards cache-line-aligned cells and each thread is pinned to one
+// shard, so an update is a single relaxed atomic on a line no other active
+// thread touches — lock-free and, for <= kNumShards concurrent threads,
+// contention-free. Reads merge the shards on demand (`merge-on-snapshot`);
+// nothing on the update path ever takes a lock or issues a fence.
+//
+// Metric handles are created once under the registry mutex and live for
+// the registry's lifetime, so callers cache the pointer:
+//
+//   static obs::Counter* const runs =
+//       obs::Registry::Global().GetCounter("cpu.partition.runs", "runs",
+//                                          "CpuPartition invocations");
+//   runs->Add();
+//
+// Instrumentation is deliberately phase-granular (per run / per pass), not
+// per-tuple: the partitioning hot loops are never touched, which is how
+// the < 2 % overhead bound of docs/observability.md is met.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace fpart::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/// Number of update shards per metric. Threads beyond this share shards
+/// (still correct — the cells are atomic — just no longer contention-free).
+inline constexpr size_t kNumShards = 16;
+
+/// Stable shard slot of the calling thread.
+inline size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return idx;
+}
+
+namespace internal {
+
+inline void AtomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void MergeMin(uint64_t* a, uint64_t v) {
+  if (v < *a) *a = v;
+}
+inline void MergeMax(uint64_t* a, uint64_t v) {
+  if (v > *a) *a = v;
+}
+
+}  // namespace internal
+
+/// \brief Monotonic sharded counter.
+class Counter {
+ public:
+  void Add(uint64_t v = 1) {
+    cells_[ShardIndex()].v.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Merged value across all shards.
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  FPART_DISALLOW_COPY_AND_ASSIGN(Counter);
+
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kNumShards];
+};
+
+/// \brief Last-write-wins double value (rare writes; a single atomic).
+class Gauge {
+ public:
+  void Set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { Set(0.0); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  FPART_DISALLOW_COPY_AND_ASSIGN(Gauge);
+
+  std::atomic<uint64_t> bits_{std::bit_cast<uint64_t>(0.0)};
+};
+
+/// \brief Sharded log2-bucketed histogram of non-negative integer samples.
+///
+/// Bucket 0 counts the value 0; bucket b >= 1 counts [2^(b-1), 2^b - 1].
+/// Percentiles derived from the buckets are therefore upper bounds with at
+/// most 2x resolution — good enough for the latency distributions this
+/// repo records (exact count/sum/min/max are tracked alongside).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v) {
+    Shard& s = shards_[ShardIndex()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    internal::AtomicMin(s.min, v);
+    internal::AtomicMax(s.max, v);
+    s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Values >= 2^62 share the final bucket (bit_width would be 63 or 64).
+  static int BucketOf(uint64_t v) {
+    return v == 0 ? 0
+                  : std::min(static_cast<int>(std::bit_width(v)),
+                             kBuckets - 1);
+  }
+
+  /// \brief Shard-merged view of the distribution.
+  struct Data {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t buckets[kBuckets] = {};
+
+    double Mean() const {
+      return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                       : 0.0;
+    }
+    /// Upper bound of the bucket holding the p-quantile (p in [0, 1]).
+    uint64_t PercentileUpperBound(double p) const;
+  };
+
+  Data Merged() const {
+    Data d;
+    d.min = UINT64_MAX;
+    for (const Shard& s : shards_) {
+      d.count += s.count.load(std::memory_order_relaxed);
+      d.sum += s.sum.load(std::memory_order_relaxed);
+      internal::MergeMin(&d.min, s.min.load(std::memory_order_relaxed));
+      internal::MergeMax(&d.max, s.max.load(std::memory_order_relaxed));
+      for (int b = 0; b < kBuckets; ++b) {
+        d.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (d.count == 0) d.min = 0;
+    return d;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+      s.min.store(UINT64_MAX, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  FPART_DISALLOW_COPY_AND_ASSIGN(Histogram);
+
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kBuckets]{};
+  };
+  Shard shards_[kNumShards];
+};
+
+/// \brief One metric's merged value in a snapshot.
+struct MetricValue {
+  std::string name;
+  std::string unit;
+  MetricType type = MetricType::kCounter;
+  uint64_t value = 0;        // counter
+  double gauge = 0.0;        // gauge
+  Histogram::Data hist;      // histogram
+};
+
+/// \brief Point-in-time merged view of every registered metric.
+///
+/// `ToJson` renders the canonical `metrics` object of the fpart.obs.v1
+/// schema: `{ "<name>": {"type": ..., "unit": ..., <values>}, ... }`,
+/// sorted by metric name (see docs/observability.md).
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+
+  std::string ToJson(int indent = 2) const;
+  /// Append the metrics object to an in-progress document.
+  void WriteJson(class JsonWriter* w) const;
+
+  /// Lookup by name; nullptr when absent.
+  const MetricValue* Find(std::string_view name) const;
+};
+
+class JsonWriter;
+
+/// \brief Owner of all metric handles; name -> handle, created on demand.
+class Registry {
+ public:
+  /// The process-wide registry every fpart module reports into.
+  static Registry& Global();
+
+  Registry() = default;
+  ~Registry() = default;
+
+  /// Find-or-create. The unit/help of the first registration win. If the
+  /// name already exists with a *different* type, a process-wide dummy
+  /// metric (not part of any snapshot) is returned instead — misuse never
+  /// crashes a measurement run.
+  Counter* GetCounter(std::string_view name, std::string_view unit = "",
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view unit = "",
+                  std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view unit = "",
+                          std::string_view help = "");
+
+  /// Merge every metric's shards into a point-in-time snapshot.
+  Snapshot TakeSnapshot() const;
+
+  /// Zero every registered metric (handles stay valid).
+  void Reset();
+
+ private:
+  FPART_DISALLOW_COPY_AND_ASSIGN(Registry);
+
+  struct Entry {
+    std::string name;
+    std::string unit;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view unit,
+                      std::string_view help, MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace fpart::obs

@@ -1,0 +1,137 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fpart::obs {
+
+BenchReport::BenchReport(std::string_view benchmark)
+    : benchmark_(benchmark) {}
+
+namespace {
+
+std::string RenderString(std::string_view v) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.String(v);
+  return out;
+}
+
+std::string RenderUInt(uint64_t v) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.UInt(v);
+  return out;
+}
+
+std::string RenderDouble(double v) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.Double(v);
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::ConfigStr(std::string_view key, std::string_view value) {
+  config_.push_back({std::string(key), RenderString(value)});
+}
+
+void BenchReport::ConfigUInt(std::string_view key, uint64_t value) {
+  config_.push_back({std::string(key), RenderUInt(value)});
+}
+
+void BenchReport::ConfigDouble(std::string_view key, double value) {
+  config_.push_back({std::string(key), RenderDouble(value)});
+}
+
+void BenchReport::Result(
+    std::string_view name,
+    std::initializer_list<std::pair<std::string_view, double>> fields) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  for (const auto& [key, value] : fields) w.KV(key, value);
+  w.EndObject();
+  results_.push_back({std::string(name), std::move(out)});
+}
+
+void BenchReport::ResultDouble(std::string_view name, double value) {
+  results_.push_back({std::string(name), RenderDouble(value)});
+}
+
+void BenchReport::ResultUInt(std::string_view name, uint64_t value) {
+  results_.push_back({std::string(name), RenderUInt(value)});
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out;
+  JsonWriter w(&out, 2);
+  w.BeginObject();
+  w.KV("schema", "fpart.obs.v1");
+  w.KV("benchmark", benchmark_);
+  w.Key("config");
+  w.BeginObject();
+  for (const Field& f : config_) {
+    w.Key(f.key);
+    w.Raw(f.rendered);
+  }
+  w.EndObject();
+  w.Key("results");
+  w.BeginObject();
+  for (const Field& f : results_) {
+    w.Key(f.key);
+    w.Raw(f.rendered);
+  }
+  w.EndObject();
+  w.Key("metrics");
+  w.Raw(Registry::Global().TakeSnapshot().ToJson(/*indent=*/0));
+  w.EndObject();
+  return out;
+}
+
+void BenchReport::Print() const {
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+TraceSession::TraceSession(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      path_ = argv[i] + 8;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < *argc) {
+      path_ = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argv[out] = nullptr;
+  *argc = out;
+  if (path_.empty()) {
+    const char* env = std::getenv("FPART_TRACE");
+    if (env != nullptr && env[0] != '\0') path_ = env;
+  }
+  if (!path_.empty()) Tracer::Global().Enable();
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  Status s = Tracer::Global().WriteFile(path_);
+  if (s.ok()) {
+    std::fprintf(stderr, "trace written to %s (%zu events)\n", path_.c_str(),
+                 Tracer::Global().event_count());
+  } else {
+    std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+  }
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,83 @@
+// The canonical bench JSON document (`fpart.obs.v1`) and the `--trace`
+// command-line session shared by every bench binary.
+//
+// Every `--json` mode in bench/ emits exactly this envelope (schema
+// documented in docs/observability.md):
+//
+//   {
+//     "schema":    "fpart.obs.v1",
+//     "benchmark": "<binary name>",
+//     "config":    { knob -> value },
+//     "results":   { measurement -> {"seconds": ..., ...} | number },
+//     "metrics":   obs::Snapshot::ToJson() of the global registry
+//   }
+//
+// scripts/bench_cpu.sh and bench_sim.sh concatenate these documents into
+// BENCH_cpu.json / BENCH_sim.json; scripts/bench_to_csv.py flattens them.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fpart::obs {
+
+/// \brief Builder for one fpart.obs.v1 bench document.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string_view benchmark);
+
+  // `config` members (insertion order preserved).
+  void ConfigStr(std::string_view key, std::string_view value);
+  void ConfigUInt(std::string_view key, uint64_t value);
+  void ConfigDouble(std::string_view key, double value);
+
+  /// One nested `results` object of double-valued fields.
+  void Result(std::string_view name,
+              std::initializer_list<std::pair<std::string_view, double>>
+                  fields);
+  /// One scalar `results` member (e.g. "speedup").
+  void ResultDouble(std::string_view name, double value);
+  void ResultUInt(std::string_view name, uint64_t value);
+
+  /// Render the document; the `metrics` section is a fresh snapshot of
+  /// Registry::Global() taken at call time.
+  std::string ToJson() const;
+  /// ToJson() to stdout with a trailing newline.
+  void Print() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // pre-rendered JSON value
+  };
+
+  std::string benchmark_;
+  std::vector<Field> config_;
+  std::vector<Field> results_;
+};
+
+/// \brief Scoped `--trace=PATH` handling for bench main()s.
+///
+/// Scans argv for `--trace=PATH` (or `--trace PATH`) and removes the flag
+/// so downstream argument parsers (google-benchmark) never see it; the
+/// FPART_TRACE environment variable is an equivalent spelling. When a path
+/// is present the global Tracer is enabled for the program's lifetime and
+/// the destructor writes the trace file (works with early `return` from
+/// main) and prints the path to stderr.
+class TraceSession {
+ public:
+  TraceSession(int* argc, char** argv);
+  ~TraceSession();
+
+  bool active() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace fpart::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fpart::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  sim_runs_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+  events_.push_back(Event{"process_name", "__metadata", 'M', 0.0, 0.0,
+                          kHostTracePid, 0});
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::CompleteEvent(std::string name, const char* category,
+                           double ts_us, double dur_us, int pid, int tid) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{std::move(name), category, 'X', ts_us, dur_us, pid, tid});
+}
+
+void Tracer::NameProcess(int pid, std::string name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{std::move(name), "__metadata", 'M', 0.0, 0.0, pid, 0});
+}
+
+std::string Tracer::ToJson() const {
+  std::string out;
+  JsonWriter w(&out, 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const Event& e : events_) {
+    w.BeginObject();
+    if (e.phase == 'M') {
+      w.KV("name", "process_name");
+      w.KV("ph", "M");
+      w.KV("pid", e.pid);
+      w.KV("tid", e.tid);
+      w.Key("args");
+      w.BeginObject();
+      w.KV("name", e.name == "process_name" ? std::string("host") : e.name);
+      w.EndObject();
+    } else {
+      w.KV("name", e.name);
+      w.KV("cat", e.category);
+      w.KV("ph", "X");
+      w.KV("ts", e.ts_us);
+      w.KV("dur", e.dur_us);
+      w.KV("pid", e.pid);
+      w.KV("tid", e.tid);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.EndObject();
+  return out;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void AddSimRunTrace(uint64_t cycles, uint64_t histogram_cycles,
+                    uint64_t flush_cycles, double clock_hz) {
+  Tracer& t = Tracer::Global();
+  if (!t.enabled() || clock_hz <= 0) return;
+  const int pid = t.NextSimPid();
+  t.NameProcess(pid, "fpga-sim run " +
+                         std::to_string(pid - kSimTracePidBase));
+  const double us_per_cycle = 1e6 / clock_hz;
+  const uint64_t hist = histogram_cycles < cycles ? histogram_cycles : cycles;
+  const uint64_t flush =
+      flush_cycles < cycles - hist ? flush_cycles : cycles - hist;
+  const uint64_t stream = cycles - hist - flush;
+  double ts = 0.0;
+  if (hist > 0) {
+    t.CompleteEvent("sim.histogram_pass", "sim", ts, hist * us_per_cycle,
+                    pid, 1);
+    ts += hist * us_per_cycle;
+  }
+  t.CompleteEvent("sim.partition_pass", "sim", ts, stream * us_per_cycle,
+                  pid, 1);
+  ts += stream * us_per_cycle;
+  if (flush > 0) {
+    t.CompleteEvent("sim.flush_drain", "sim", ts, flush * us_per_cycle, pid,
+                    1);
+  }
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,130 @@
+// Phase/span tracer emitting Chrome trace_event JSON (load the output in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Two timelines share one file:
+//  * Host spans (`TraceSpan`) are wall-clock "X" (complete) events on
+//    pid 1, one tid per host thread, timestamps in microseconds since
+//    `Enable()`.
+//  * Simulator runs (`AddSimRunTrace`) are *simulated-time* events —
+//    cycles x 5 ns at the 200 MHz clock — and each run gets its own trace
+//    process (pid 100+n) so runs don't overlap even though every run's
+//    simulated clock starts at zero.
+//
+// When the tracer is disabled (the default), a TraceSpan costs one relaxed
+// atomic load; span recording is phase-granular (partition passes, join
+// phases), so tracing never touches a per-tuple loop. Enable with
+// `--trace=out.json` on the bench binaries (see obs::TraceSession) or
+// programmatically via Enable() + WriteFile().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fpart::obs {
+
+/// Trace process ids: one for the host, one per simulated run.
+inline constexpr int kHostTracePid = 1;
+inline constexpr int kSimTracePidBase = 100;
+
+/// Small stable integer id of the calling thread (trace `tid`).
+inline int CurrentTraceTid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+/// \brief Collects trace events; thread-safe; process-wide singleton.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Start recording (clears previously buffered events, restarts the
+  /// host-time epoch).
+  void Enable();
+  /// Stop recording (buffered events are kept until Enable or WriteFile).
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds of host wall time since Enable().
+  double NowUs() const;
+
+  /// Append one complete ("ph":"X") event. No-op while disabled.
+  void CompleteEvent(std::string name, const char* category, double ts_us,
+                     double dur_us, int pid, int tid);
+  /// Append a process_name metadata event. No-op while disabled.
+  void NameProcess(int pid, std::string name);
+
+  /// Reserve a fresh pid for one simulated run's timeline.
+  int NextSimPid() {
+    return kSimTracePidBase +
+           sim_runs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Render every buffered event as a Chrome trace_event JSON document to
+  /// `path`. The buffer is left intact (a later write sees the same runs).
+  Status WriteFile(const std::string& path) const;
+  /// The document itself, for tests.
+  std::string ToJson() const;
+
+  size_t event_count() const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;  // static string
+    char phase;            // 'X' or 'M'
+    double ts_us;
+    double dur_us;
+    int pid;
+    int tid;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> sim_runs_{0};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// \brief RAII host-timeline span: records one complete event covering the
+/// scope's lifetime on the current thread. Near-free when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "host")
+      : name_(name),
+        category_(category),
+        armed_(Tracer::Global().enabled()),
+        start_us_(armed_ ? Tracer::Global().NowUs() : 0.0) {}
+
+  ~TraceSpan() {
+    if (!armed_) return;
+    Tracer& t = Tracer::Global();
+    t.CompleteEvent(name_, category_, start_us_, t.NowUs() - start_us_,
+                    kHostTracePid, CurrentTraceTid());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool armed_;
+  double start_us_;
+};
+
+/// Emit the per-pass spans of one simulated partitioning run on its own
+/// trace process. Timestamps are simulated time (cycles / clock_hz).
+/// `histogram_cycles` is the HIST pass-1 + prefix-sum share (0 in PAD
+/// mode) and `flush_cycles` the flush+drain epilogue; the partition pass
+/// covers the remainder. No-op while the tracer is disabled.
+void AddSimRunTrace(uint64_t cycles, uint64_t histogram_cycles,
+                    uint64_t flush_cycles, double clock_hz);
+
+}  // namespace fpart::obs

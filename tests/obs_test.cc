@@ -1,0 +1,450 @@
+// Tests of the observability layer (src/obs/): metrics registry under
+// concurrency, histogram shard merging, Chrome trace JSON well-formedness
+// and the fpart.obs.v1 bench envelope.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace fpart::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough to assert that every
+// document the obs layer emits is well-formed without a JSON dependency.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(std::string_view text) {
+  return JsonValidator(text).Valid();
+}
+
+TEST(JsonValidatorTest, SanityOnItself) {
+  EXPECT_TRUE(IsValidJson(R"({"a": [1, -2.5e3, "x\n", true, null], "b": {}})"));
+  EXPECT_FALSE(IsValidJson(R"({"a": 1,})"));
+  EXPECT_FALSE(IsValidJson(R"({"a" 1})"));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson(R"("unterminated)"));
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, EscapesAndNesting) {
+  std::string out;
+  JsonWriter w(&out, /*indent=*/0);
+  w.BeginObject();
+  w.KV("str", std::string_view("quote\" slash\\ ctrl\x01\n"));
+  w.KV("int", -5);
+  w.KV("uint", uint64_t{18446744073709551615ull});
+  w.KV("dbl", 1.5);
+  w.KV("flag", true);
+  w.Key("arr");
+  w.BeginArray();
+  w.Double(0.1);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(IsValidJson(out)) << out;
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeZero) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(out, "[0,0]");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(CounterTest, ExactUnderManyThreads) {
+  Registry reg;
+  Counter* c = reg.GetCounter("test.threads", "ops");
+  constexpr int kThreads = 32;  // deliberately > kNumShards
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, FindOrCreateReturnsSameHandle) {
+  Registry reg;
+  Counter* a = reg.GetCounter("same.name", "ops");
+  Counter* b = reg.GetCounter("same.name");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(CounterTest, TypeMismatchReturnsDummyNotCrash) {
+  Registry reg;
+  Counter* c = reg.GetCounter("typed.metric");
+  c->Add(7);
+  // Same name, wrong type: a dummy handle, and the real metric survives.
+  Histogram* h = reg.GetHistogram("typed.metric");
+  ASSERT_NE(h, nullptr);
+  h->Record(1);  // must not crash
+  Snapshot snap = reg.TakeSnapshot();
+  const MetricValue* v = snap.Find("typed.metric");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->type, MetricType::kCounter);
+  EXPECT_EQ(v->value, 7u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Registry reg;
+  Gauge* g = reg.GetGauge("test.gauge", "ratio");
+  g->Set(0.25);
+  g->Set(2.5);
+  EXPECT_EQ(g->Value(), 2.5);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  // The tail clamps into the last bucket instead of indexing out of range.
+  EXPECT_EQ(Histogram::BucketOf(uint64_t{1} << 63), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, MergeAcrossThreads) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("test.hist", "us");
+  constexpr int kThreads = 24;
+  constexpr uint64_t kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        h->Record(i + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Histogram::Data d = h->Merged();
+  EXPECT_EQ(d.count, kThreads * kPerThread);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.max, kPerThread + kThreads - 1);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 1; i <= kPerThread; ++i) expected_sum += i + t;
+  }
+  EXPECT_EQ(d.sum, expected_sum);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : d.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, d.count);
+  // The p100 upper bound must cover the max; p50 must not exceed it.
+  EXPECT_GE(d.PercentileUpperBound(1.0), d.max);
+  EXPECT_LE(d.PercentileUpperBound(0.5), d.PercentileUpperBound(1.0));
+  EXPECT_NEAR(d.Mean(), static_cast<double>(d.sum) / d.count, 1e-9);
+}
+
+TEST(HistogramTest, EmptyMergeIsZero) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("test.empty");
+  Histogram::Data d = h->Merged();
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.min, 0u);
+  EXPECT_EQ(d.max, 0u);
+  EXPECT_EQ(d.Mean(), 0.0);
+}
+
+TEST(RegistryTest, ResetZeroesEverythingHandlesStayValid) {
+  Registry reg;
+  Counter* c = reg.GetCounter("r.c");
+  Gauge* g = reg.GetGauge("r.g");
+  Histogram* h = reg.GetHistogram("r.h");
+  c->Add(5);
+  g->Set(1.0);
+  h->Record(42);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Merged().count, 0u);
+  c->Add(2);
+  EXPECT_EQ(c->Value(), 2u);
+}
+
+TEST(SnapshotTest, SortedNamesAndValidJson) {
+  Registry reg;
+  reg.GetCounter("z.last", "ops")->Add(1);
+  reg.GetCounter("a.first", "ops")->Add(2);
+  reg.GetHistogram("m.hist", "us")->Record(100);
+  reg.GetGauge("m.gauge", "ratio")->Set(0.5);
+  Snapshot snap = reg.TakeSnapshot();
+  ASSERT_EQ(snap.metrics.size(), 4u);
+  EXPECT_EQ(snap.metrics.front().name, "a.first");
+  EXPECT_EQ(snap.metrics.back().name, "z.last");
+  std::string json = snap.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  for (const char* key :
+       {"\"a.first\"", "\"m.hist\"", "\"m.gauge\"", "\"type\"", "\"unit\"",
+        "\"p50\"", "\"p99\"", "\"mean\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing: " << json;
+  }
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, ChromeTraceDocumentIsValidJson) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    TraceSpan span("unit.phase", "test");
+  }
+  AddSimRunTrace(/*cycles=*/1000, /*histogram_cycles=*/300,
+                 /*flush_cycles=*/100, /*clock_hz=*/200e6);
+  tracer.Disable();
+  std::string doc = tracer.ToJson();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  for (const char* key : {"\"traceEvents\"", "\"unit.phase\"", "\"ph\"",
+                          "\"pid\"", "\"sim.partition_pass\"",
+                          "\"sim.histogram_pass\"", "\"sim.flush_drain\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key << " missing: " << doc;
+  }
+}
+
+TEST(TracerTest, DisabledSpansRecordNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  tracer.Disable();
+  size_t before = tracer.event_count();
+  {
+    TraceSpan span("ignored", "test");
+  }
+  AddSimRunTrace(10, 0, 0, 200e6);
+  EXPECT_EQ(tracer.event_count(), before);
+}
+
+TEST(TracerTest, WriteFileRoundTrips) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Enable();
+  {
+    TraceSpan span("file.span", "test");
+  }
+  tracer.Disable();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fpart_obs_test_trace.json")
+          .string();
+  ASSERT_TRUE(tracer.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_TRUE(IsValidJson(buffer.str())) << buffer.str();
+  EXPECT_NE(buffer.str().find("file.span"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport (the fpart.obs.v1 envelope)
+
+TEST(BenchReportTest, EnvelopeHasDocumentedKeysInOrder) {
+  Registry::Global().GetCounter("bench.test.counter", "ops")->Add(3);
+  BenchReport report("unit_bench");
+  report.ConfigStr("mode", "test");
+  report.ConfigUInt("n", 42);
+  report.ConfigDouble("scale", 0.5);
+  report.Result("phase", {{"seconds", 1.25}, {"mtuples_per_sec", 33.0}});
+  report.ResultDouble("speedup", 2.0);
+  report.ResultUInt("matches", 7);
+  std::string json = report.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // All five envelope sections present, in schema order.
+  size_t schema = json.find("\"schema\": \"fpart.obs.v1\"");
+  size_t benchmark = json.find("\"benchmark\": \"unit_bench\"");
+  size_t config = json.find("\"config\"");
+  size_t results = json.find("\"results\"");
+  size_t metrics = json.find("\"metrics\"");
+  ASSERT_NE(schema, std::string::npos) << json;
+  ASSERT_NE(benchmark, std::string::npos) << json;
+  ASSERT_NE(config, std::string::npos) << json;
+  ASSERT_NE(results, std::string::npos) << json;
+  ASSERT_NE(metrics, std::string::npos) << json;
+  EXPECT_LT(schema, benchmark);
+  EXPECT_LT(benchmark, config);
+  EXPECT_LT(config, results);
+  EXPECT_LT(results, metrics);
+  // The registry snapshot rode along.
+  EXPECT_NE(json.find("bench.test.counter"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace fpart::obs

@@ -94,8 +94,15 @@ void ExpectIdenticalRuns(const Result<FpgaRunResult<Tuple8>>& ref,
   EXPECT_EQ(a.stats.output_lines, b.stats.output_lines) << label;
   EXPECT_EQ(a.stats.read_lines, b.stats.read_lines) << label;
   EXPECT_EQ(a.stats.backpressure_cycles, b.stats.backpressure_cycles) << label;
+  EXPECT_EQ(a.stats.read_stall_cycles, b.stats.read_stall_cycles) << label;
+  EXPECT_EQ(a.stats.write_stall_cycles, b.stats.write_stall_cycles) << label;
+  EXPECT_EQ(a.stats.read_stall_cycles + a.stats.write_stall_cycles,
+            a.stats.backpressure_cycles)
+      << label;
   EXPECT_EQ(a.stats.internal_stall_cycles, b.stats.internal_stall_cycles)
       << label;
+  EXPECT_EQ(a.stats.histogram_cycles, b.stats.histogram_cycles) << label;
+  EXPECT_EQ(a.stats.flush_cycles, b.stats.flush_cycles) << label;
   EXPECT_EQ(a.stats.dummy_tuples, b.stats.dummy_tuples) << label;
   EXPECT_EQ(a.seconds, b.seconds) << label;
   EXPECT_EQ(a.read_write_ratio, b.read_write_ratio) << label;
