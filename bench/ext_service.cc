@@ -1,0 +1,357 @@
+// Closed-loop driver of the svc runtime (docs/architecture.md, svc layer):
+// N client threads submit a Poisson stream of partitioning jobs (sizes
+// drawn Zipf-style from eight classes, small jobs most frequent, plus an
+// optional join mix) against one Scheduler arbitrating the single
+// simulated FPGA.
+//
+// `--json` emits one fpart.obs.v1 document with exact p50/p95/p99 wall
+// latencies, the per-backend placement mix, and a determinism hash over
+// (job index, backend, checksum). In the default deterministic mode the
+// hash is bit-identical across runs for a fixed --seed no matter how the
+// client threads interleave; the driver exits non-zero if any job is
+// lost, duplicated, or failed.
+//
+// Flags (both `--flag N` and `--flag=N` spellings):
+//   --jobs N           total jobs to replay        (default 10000)
+//   --clients N        submitting client threads   (default 8)
+//   --workers N        scheduler worker threads    (default 4)
+//   --seed N           workload seed               (default 42)
+//   --rate R           Poisson arrival rate, jobs/s (default 5000)
+//   --queue N          admission queue bound (0 = auto: jobs when
+//                      deterministic, 256 otherwise)
+//   --deterministic B  1 = virtual-time replay (default), 0 = live wall
+//                      clock with real arrival sleeps and shedding
+//   --join-every K     every K-th job is an equi-join (0 = off, default 64)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "datagen/workloads.h"
+#include "datagen/zipf.h"
+#include "obs/report.h"
+#include "svc/scheduler.h"
+
+namespace fpart {
+namespace {
+
+struct Options {
+  uint64_t jobs = 10000;
+  size_t clients = 8;
+  size_t workers = 4;
+  uint64_t seed = 42;
+  double rate = 5000.0;
+  size_t queue = 0;
+  bool deterministic = true;
+  uint64_t join_every = 64;
+};
+
+// The eight job size classes (tuples), scaled by FPART_SCALE. Zipf rank 1
+// maps to the smallest class: a service sees many small requests and few
+// huge ones.
+std::vector<size_t> SizeClasses() {
+  const double scale = BenchScale();
+  std::vector<size_t> classes;
+  for (size_t base = 4096; base <= 524288; base *= 2) {
+    classes.push_back(
+        std::max<size_t>(512, static_cast<size_t>(base * scale)));
+  }
+  return classes;
+}
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (b * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+int Run(const Options& opt) {
+  const std::vector<size_t> classes = SizeClasses();
+
+  // Resident tables: one relation per size class, plus a unique-key pair
+  // per class for the join jobs (every S key matches).
+  std::vector<Relation<Tuple8>> tables;
+  std::vector<Relation<Tuple8>> join_r, join_s;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    auto rel = GenerateRawRelation(classes[c], KeyDistribution::kRandom,
+                                   opt.seed + c);
+    if (!rel.ok()) {
+      std::fprintf(stderr, "datagen failed: %s\n",
+                   rel.status().ToString().c_str());
+      return 1;
+    }
+    tables.push_back(std::move(rel).ValueUnsafe());
+    if (opt.join_every > 0) {
+      // Same seed for both sides: identical key sets, so every S tuple
+      // matches and the join checksum is a strong cross-backend signal.
+      auto r = GenerateUniqueRelation(classes[c], KeyDistribution::kRandom,
+                                      opt.seed + 100 + c);
+      auto s = GenerateUniqueRelation(classes[c], KeyDistribution::kRandom,
+                                      opt.seed + 100 + c);
+      if (!r.ok() || !s.ok()) {
+        std::fprintf(stderr, "join datagen failed\n");
+        return 1;
+      }
+      join_r.push_back(std::move(r).ValueUnsafe());
+      join_s.push_back(std::move(s).ValueUnsafe());
+    }
+  }
+
+  // Precomputed workload: per-job size class and Poisson arrival time.
+  // Both derive only from --seed, so every replay sees the same stream.
+  std::vector<size_t> job_class(opt.jobs);
+  std::vector<double> arrival(opt.jobs);
+  {
+    ZipfSampler zipf(classes.size(), 0.9, opt.seed);
+    Rng rng(opt.seed ^ 0xa5a5a5a5ULL);
+    double t = 0.0;
+    for (uint64_t i = 0; i < opt.jobs; ++i) {
+      job_class[i] = static_cast<size_t>(zipf.Next() - 1);
+      double u = rng.NextDouble();
+      if (u <= 0.0) u = 1e-12;
+      t += -std::log(u) / opt.rate;  // exponential inter-arrival
+      arrival[i] = t;
+    }
+  }
+
+  svc::SchedulerConfig config;
+  config.deterministic = opt.deterministic;
+  config.num_workers = opt.workers;
+  config.queue_capacity =
+      opt.queue > 0 ? opt.queue : (opt.deterministic ? opt.jobs : 256);
+  config.name = "svc";
+  svc::Scheduler scheduler(config);
+
+  // One handle slot per job, each written by exactly one client thread.
+  std::vector<svc::JobHandle> handles(opt.jobs);
+  std::vector<uint8_t> shed(opt.jobs, 0);
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(opt.clients);
+  for (size_t c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (uint64_t i = c; i < opt.jobs; i += opt.clients) {
+        if (!opt.deterministic) {
+          // Live mode: honour the Poisson arrival times for real.
+          std::this_thread::sleep_until(
+              wall0 + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(arrival[i])));
+        }
+        svc::JobOptions jopts;
+        jopts.arrival_seq = i;
+        jopts.virtual_arrival_seconds = arrival[i];
+        Result<svc::JobHandle> handle = [&]() -> Result<svc::JobHandle> {
+          if (opt.join_every > 0 && (i + 1) % opt.join_every == 0) {
+            svc::JoinJobSpec join;
+            join.r = &join_r[job_class[i]];
+            join.s = &join_s[job_class[i]];
+            join.fanout = 2048;
+            return scheduler.Submit(join, jopts);
+          }
+          svc::PartitionJobSpec spec;
+          spec.input = &tables[job_class[i]];
+          spec.request.fanout = 2048;
+          spec.request.hash = HashMethod::kMurmur;
+          spec.request.output_mode = OutputMode::kHist;
+          return scheduler.Submit(spec, jopts);
+        }();
+        if (handle.ok()) {
+          handles[i] = std::move(handle).ValueUnsafe();
+        } else if (handle.status().IsCapacityError()) {
+          shed[i] = 1;  // live-mode backpressure
+        } else {
+          std::fprintf(stderr, "submit %llu failed: %s\n",
+                       static_cast<unsigned long long>(i),
+                       handle.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  scheduler.Shutdown();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  // Account every job exactly once; a slot that is neither shed nor done
+  // is a lost job (and a hard failure of the run).
+  uint64_t completed = 0, failed = 0, cancelled = 0, shed_count = 0,
+           lost = 0;
+  uint64_t placed_cpu = 0, placed_fpga = 0, placed_hybrid = 0;
+  std::vector<double> latencies;
+  latencies.reserve(opt.jobs);
+  uint64_t determinism_hash = 0xcbf29ce484222325ULL;
+  for (uint64_t i = 0; i < opt.jobs; ++i) {
+    if (shed[i] != 0) {
+      ++shed_count;
+      continue;
+    }
+    if (!handles[i].valid()) {
+      ++lost;
+      continue;
+    }
+    auto outcome = handles[i].TryGet();
+    if (!outcome.has_value()) {
+      ++lost;  // still "running" after drain: the scheduler lost it
+      continue;
+    }
+    switch (outcome->state) {
+      case svc::JobState::kCompleted:
+        ++completed;
+        break;
+      case svc::JobState::kFailed:
+        ++failed;
+        std::fprintf(stderr, "job %llu failed: %s\n",
+                     static_cast<unsigned long long>(i),
+                     outcome->status.ToString().c_str());
+        break;
+      case svc::JobState::kCancelled:
+        ++cancelled;
+        break;
+      case svc::JobState::kShed:
+        ++shed_count;
+        continue;
+      default:
+        ++lost;
+        continue;
+    }
+    switch (outcome->backend) {
+      case svc::Backend::kCpu:
+        ++placed_cpu;
+        break;
+      case svc::Backend::kFpga:
+        ++placed_fpga;
+        break;
+      case svc::Backend::kHybrid:
+        ++placed_hybrid;
+        break;
+    }
+    latencies.push_back(outcome->queue_seconds + outcome->run_seconds);
+    determinism_hash = Fnv1a(determinism_hash, i);
+    determinism_hash = Fnv1a(
+        determinism_hash, static_cast<uint64_t>(outcome->backend));
+    determinism_hash = Fnv1a(determinism_hash, outcome->checksum);
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
+    return latencies[idx] * 1e6;
+  };
+  double mean_us = 0.0;
+  for (double l : latencies) mean_us += l;
+  mean_us = latencies.empty() ? 0.0 : mean_us / latencies.size() * 1e6;
+
+  obs::BenchReport report("ext_service");
+  report.ConfigUInt("jobs", opt.jobs);
+  report.ConfigUInt("clients", opt.clients);
+  report.ConfigUInt("workers", opt.workers);
+  report.ConfigUInt("seed", opt.seed);
+  report.ConfigDouble("rate_jobs_per_sec", opt.rate);
+  report.ConfigUInt("queue_capacity", config.queue_capacity);
+  report.ConfigUInt("deterministic", opt.deterministic ? 1 : 0);
+  report.ConfigUInt("join_every", opt.join_every);
+  report.ConfigStr("policy",
+                   svc::PlacementPolicyName(config.policy));
+  report.ConfigDouble("scale", BenchScale());
+  report.Result("latency", {{"p50_us", pct(0.50)},
+                            {"p95_us", pct(0.95)},
+                            {"p99_us", pct(0.99)},
+                            {"mean_us", mean_us}});
+  report.Result("placement",
+                {{"cpu", static_cast<double>(placed_cpu)},
+                 {"fpga", static_cast<double>(placed_fpga)},
+                 {"hybrid", static_cast<double>(placed_hybrid)}});
+  report.Result("jobs_accounted",
+                {{"completed", static_cast<double>(completed)},
+                 {"failed", static_cast<double>(failed)},
+                 {"cancelled", static_cast<double>(cancelled)},
+                 {"shed", static_cast<double>(shed_count)},
+                 {"lost", static_cast<double>(lost)}});
+  report.ResultDouble("wall_seconds", wall_seconds);
+  report.ResultDouble("jobs_per_sec",
+                      wall_seconds > 0 ? opt.jobs / wall_seconds : 0.0);
+  report.ResultUInt("determinism_hash", determinism_hash);
+  report.Print();
+
+  const uint64_t accounted = completed + failed + cancelled + shed_count;
+  if (lost != 0 || accounted != opt.jobs) {
+    std::fprintf(stderr,
+                 "job accounting broken: %llu accounted of %llu (%llu lost)\n",
+                 static_cast<unsigned long long>(accounted),
+                 static_cast<unsigned long long>(opt.jobs),
+                 static_cast<unsigned long long>(lost));
+    return 1;
+  }
+  if (failed != 0) return 1;
+  return 0;
+}
+
+// Accept both "--flag value" and "--flag=value".
+bool ParseFlag(int argc, char** argv, int* i, const char* flag,
+               std::string* value) {
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(argv[*i], flag, len) != 0) return false;
+  if (argv[*i][len] == '=') {
+    *value = argv[*i] + len + 1;
+    return true;
+  }
+  if (argv[*i][len] == '\0' && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace fpart
+
+int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
+  fpart::Options opt;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (fpart::ParseFlag(argc, argv, &i, "--jobs", &v)) {
+      opt.jobs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--clients", &v)) {
+      opt.clients = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--workers", &v)) {
+      opt.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--seed", &v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--rate", &v)) {
+      opt.rate = std::strtod(v.c_str(), nullptr);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--queue", &v)) {
+      opt.queue = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--deterministic", &v)) {
+      opt.deterministic = std::strtoull(v.c_str(), nullptr, 10) != 0;
+    } else if (fpart::ParseFlag(argc, argv, &i, "--join-every", &v)) {
+      opt.join_every = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (opt.jobs == 0 || opt.clients == 0) {
+    std::fprintf(stderr, "--jobs and --clients must be positive\n");
+    return 2;
+  }
+  if (opt.rate <= 0) opt.rate = 5000.0;
+  (void)json;  // the report is always JSON; --json kept for script parity
+  return fpart::Run(opt);
+}

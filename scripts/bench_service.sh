@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Replay a closed-loop multi-tenant job stream through the svc scheduler
+# (bench/ext_service: Poisson arrivals, Zipf job sizes, adaptive CPU/FPGA
+# placement) and record the result as BENCH_service.json at the repo root.
+# The document is a single fpart.obs.v1 envelope (docs/observability.md)
+# with tail latency percentiles, the placement mix, and the svc.* metric
+# snapshot; flatten with scripts/bench_to_csv.py.
+# Usage: scripts/bench_service.sh [build_dir] [jobs] [clients]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+jobs=${2:-10000}
+clients=${3:-8}
+
+if [ ! -x "$build_dir/bench/ext_service" ]; then
+  echo "building ext_service in $build_dir ..." >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
+  cmake --build "$build_dir" --target ext_service -j >&2
+fi
+
+out="$repo_root/BENCH_service.json"
+"$build_dir/bench/ext_service" --json --jobs "$jobs" --clients "$clients" \
+  > "$out.tmp"
+mv "$out.tmp" "$out"
+cat "$out"

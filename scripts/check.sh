@@ -5,8 +5,14 @@
 # dispatch fallback tier — so the scalar, AVX2 and (where present) AVX-512
 # paths are all exercised regardless of the build host.
 #
+# The tsan suite builds with ThreadSanitizer and runs the concurrency-
+# heavy binaries (svc_test, common_test, obs_test, plus an ext_service
+# smoke replay) directly — the full ctest matrix is too slow under TSan
+# to be a useful gate.
+#
 # Usage: scripts/check.sh [jobs] [suite...]
-#   suite: any of default, asan, native (all three when omitted).
+#   suite: any of default, asan, tsan, native (default/asan/native when
+#   omitted; tsan is opt-in locally, always on in CI).
 #   CI runs one suite per matrix job: scripts/check.sh "" default
 set -eu
 
@@ -34,12 +40,30 @@ run_suite() {
   done
 }
 
+run_tsan_suite() {
+  build_dir=$1
+  echo "=== configure $build_dir (-DFPART_SANITIZE_THREAD=ON) ===" >&2
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFPART_SANITIZE_THREAD=ON -DFPART_BUILD_BENCHMARKS=ON \
+    -DFPART_BUILD_EXAMPLES=OFF >&2
+  cmake --build "$build_dir" -j "$jobs" \
+    --target svc_test common_test obs_test ext_service >&2
+  for bin in svc_test common_test obs_test; do
+    echo "=== tsan $bin ===" >&2
+    FPART_SCALE=0.0625 "$build_dir/tests/$bin"
+  done
+  echo "=== tsan ext_service smoke ===" >&2
+  FPART_SCALE=0.0625 "$build_dir/bench/ext_service" --json \
+    --jobs 1500 --clients 8 --workers 4 > /dev/null
+}
+
 for suite in $suites; do
   case "$suite" in
     default) run_suite "$repo_root/build-check" ;;
     asan)    run_suite "$repo_root/build-check-asan" -DFPART_SANITIZE=ON ;;
+    tsan)    run_tsan_suite "$repo_root/build-check-tsan" ;;
     native)  run_suite "$repo_root/build-check-native" -DFPART_MARCH_NATIVE=ON ;;
-    *) echo "unknown suite '$suite' (default|asan|native)" >&2; exit 2 ;;
+    *) echo "unknown suite '$suite' (default|asan|tsan|native)" >&2; exit 2 ;;
   esac
 done
 

@@ -2,8 +2,8 @@
 """Validate that the bench binaries' --json output follows the documented
 fpart.obs.v1 envelope (docs/observability.md).
 
-Runs micro_sim, micro_partition and ext_join_algorithms in --json mode
-(small workloads) and asserts, for each document:
+Runs micro_sim, micro_partition, ext_join_algorithms and ext_service in
+--json mode (small workloads) and asserts, for each document:
 
 * the envelope keys schema/benchmark/config/results/metrics, with
   schema == "fpart.obs.v1";
@@ -37,6 +37,11 @@ CASES = {
     "ext_join_algorithms": (["--json"],
                             ["join.radix.runs", "join.matches",
                              "cpu.partition.runs"]),
+    "ext_service": (["--json", "--jobs", "2000", "--clients", "4"],
+                    ["svc.jobs.submitted", "svc.jobs.completed",
+                     "svc.placed.cpu", "svc.placed.fpga",
+                     "svc.job.queue_us", "svc.job.total_us",
+                     "svc.fpga.lease_wait_us"]),
 }
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p99"]

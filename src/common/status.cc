@@ -26,6 +26,8 @@ const char* CodeName(StatusCode code) {
       return "IO error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

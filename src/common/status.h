@@ -24,6 +24,9 @@ enum class StatusCode : int8_t {
   kNotImplemented = 5,
   kIOError = 6,
   kInternal = 7,
+  /// The operation's cancellation token fired (svc job cancellation); the
+  /// work was abandoned at the next check point and no result exists.
+  kCancelled = 8,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -58,10 +61,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsPartitionOverflow() const {
     return code() == StatusCode::kPartitionOverflow;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  /// Admission-control rejection (svc queue full) or allocation failure.
+  bool IsCapacityError() const {
+    return code() == StatusCode::kCapacityError;
   }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }

@@ -1,12 +1,35 @@
 #include "common/thread_pool.h"
 
-namespace fpart {
+#include <utility>
 
-ThreadPool::ThreadPool(size_t num_threads) {
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace fpart {
+namespace {
+
+// Name the calling thread "<prefix>/<index>", clipped to the 15-character
+// limit of pthread_setname_np. Best effort; naming failures are ignored.
+void NameCurrentThread(const std::string& prefix, size_t index) {
+#if defined(__linux__)
+  std::string name = prefix + "/" + std::to_string(index);
+  if (name.size() > 15) name.resize(15);
+  pthread_setname_np(pthread_self(), name.c_str());
+#else
+  (void)prefix;
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, const std::string& name)
+    : name_(name) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -29,8 +52,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -44,7 +72,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   WaitIdle();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t index) {
+  NameCurrentThread(name_, index);
   for (;;) {
     std::function<void()> task;
     {
@@ -57,9 +86,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -1,12 +1,15 @@
-// A small fixed-size thread pool used by the parallel CPU partitioner and
-// the parallel build+probe phase of the radix join.
+// A small fixed-size thread pool used by the parallel CPU partitioner,
+// the parallel build+probe phase of the radix join, and the svc runtime's
+// backend executors.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,9 +21,16 @@ namespace fpart {
 ///
 /// Designed for the fork/join pattern of the partitioned join: submit one
 /// task per morsel, then WaitIdle() as the barrier between phases.
+///
+/// A task that throws does not kill its worker: the first exception of a
+/// batch is captured and rethrown from the next WaitIdle() (and therefore
+/// from ParallelFor()), mirroring what the submitter would have seen had
+/// the task run inline. Later exceptions of the same batch are dropped.
 class ThreadPool {
  public:
-  explicit ThreadPool(size_t num_threads);
+  /// \param name  worker thread name prefix (worker i is "<name>/<i>",
+  ///              truncated to the kernel's 15-character limit).
+  explicit ThreadPool(size_t num_threads, const std::string& name = "fpart-wkr");
   ~ThreadPool();
 
   FPART_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
@@ -28,7 +38,8 @@ class ThreadPool {
   /// Enqueue a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception any task of the batch threw (the pool stays usable).
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
@@ -36,11 +47,13 @@ class ThreadPool {
   /// Run `fn(worker_index)` on `n` logical workers in parallel and wait.
   /// When n == 1 the call runs inline on the caller (matching the paper's
   /// single-threaded measurements, which do not pay thread hand-off costs).
+  /// Worker exceptions propagate to the caller, as with WaitIdle().
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
 
+  std::string name_;
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> queue_;
   std::mutex mu_;
@@ -48,6 +61,8 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  /// First exception thrown by a task since the last WaitIdle().
+  std::exception_ptr first_error_;
 };
 
 }  // namespace fpart

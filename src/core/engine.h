@@ -4,6 +4,7 @@
 // that need circuit-level control.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,9 @@ struct PartitionRequest {
   LayoutMode layout = LayoutMode::kRid;
   LinkKind link = LinkKind::kXeonFpga;
   double pad_fraction = 0.5;
+  /// FPGA only: model concurrent CPU traffic on the link (Figure 2). The
+  /// svc scheduler sets this per run when host workers are busy.
+  Interference interference = Interference::kAlone;
   /// FPGA only: host-side execution engine of the cycle simulator (the
   /// batched fast path or the per-module reference loop; identical
   /// results either way).
@@ -53,6 +57,11 @@ struct PartitionRequest {
   /// CPU only: shared worker pool (a private one is created when null and
   /// num_threads > 1).
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation token, plumbed into whichever backend runs
+  /// the request (svc jobs point this at their per-job flag). Checked at
+  /// phase/pass boundaries; a cancelled run returns Status::Cancelled.
+  /// Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief Device-independent partitioning outcome.
@@ -87,6 +96,7 @@ Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
     config.use_buffers = request.use_buffers;
     config.non_temporal = request.non_temporal;
     config.pool = request.pool;
+    config.cancel = request.cancel;
     FPART_ASSIGN_OR_RETURN(
         CpuRunResult<T> r,
         CpuPartition(config, relation.data(), relation.size()));
@@ -103,7 +113,9 @@ Result<PartitionReport<T>> RunPartition(const PartitionRequest& request,
   config.layout = LayoutMode::kRid;
   config.link = request.link;
   config.pad_fraction = request.pad_fraction;
+  config.interference = request.interference;
   config.sim_mode = request.sim_mode;
+  config.cancel = request.cancel;
   FpgaPartitioner<T> partitioner(config);
   FPART_ASSIGN_OR_RETURN(FpgaRunResult<T> r,
                          partitioner.Partition(relation.data(),

@@ -65,6 +65,11 @@ struct CpuPartitionerConfig {
   uint32_t prefetch_distance = 0;
   /// Optional shared pool; a private one is created per call when null.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation token (svc job cancellation). Checked at
+  /// phase boundaries only — never inside the per-tuple loops — so a
+  /// running phase always completes before the run aborts with
+  /// Status::Cancelled. Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// \brief Result of one CPU partitioning run (measured wall time).
@@ -448,6 +453,13 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
     return Status::InvalidArgument(
         "range partitioning needs exactly fanout-1 splitters");
   }
+  auto cancelled = [&config] {
+    return config.cancel != nullptr &&
+           config.cancel->load(std::memory_order_relaxed);
+  };
+  if (cancelled()) {
+    return Status::Cancelled("CPU partition cancelled before start");
+  }
   const PartitionFn fn =
       config.hash == HashMethod::kRange
           ? PartitionFn::Range(config.range_splitters)
@@ -497,6 +509,9 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
       pool->ParallelFor(num_threads, histogram_chunk);
     }
     hist_seconds = timer.Seconds();
+  }
+  if (cancelled()) {
+    return Status::Cancelled("CPU partition cancelled after histogram phase");
   }
 
   // --- Prefix sums: partition bases (cache-line granular so partitions

@@ -1,6 +1,7 @@
 // Configuration of the FPGA partitioner (Sections 4.1–4.5).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "hash/hash_function.h"
@@ -78,6 +79,12 @@ struct FpgaPartitionerConfig {
   /// executable specification the fast engine is differentially tested
   /// against.
   SimMode sim_mode = SimMode::kFast;
+
+  /// Cooperative cancellation token (svc job cancellation / FPGA lease
+  /// revocation). Checked at simulation pass boundaries only, so a pass in
+  /// flight always completes before the run aborts with Status::Cancelled.
+  /// Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Depth of the per-lane FIFO between hash module and write combiner.
   /// Read requests are issued only when every lane FIFO has room for the

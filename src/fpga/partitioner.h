@@ -187,12 +187,20 @@ class FpgaPartitioner {
     }
   }
 
+  bool cancelled() const {
+    return config_.cancel != nullptr &&
+           config_.cancel->load(std::memory_order_relaxed);
+  }
+
   Result<FpgaRunResult<T>> Run(size_t n) {
     FpgaRunResult<T> result;
     QpiLink link = MakeLink();
     const InputStager<T> stager(config_, in_tuples_, in_keys_, in_column_);
     const bool fast = config_.sim_mode == SimMode::kFast;
 
+    if (cancelled()) {
+      return Status::Cancelled("FPGA partition cancelled before start");
+    }
     std::vector<std::vector<uint64_t>> lane_hist;
     if (config_.output_mode == OutputMode::kHist) {
       if (fast) {
@@ -241,6 +249,9 @@ class FpgaPartitioner {
     FPART_ASSIGN_OR_RETURN(result.output,
                            PartitionedOutput<T>::Allocate(capacity_cls));
 
+    if (cancelled()) {
+      return Status::Cancelled("FPGA partition cancelled between passes");
+    }
     if (fast) {
       FastCircuit<T> circuit(config_, fn_, hazard_, stager);
       FPART_RETURN_NOT_OK(circuit.PartitionPass(n, MaxCycles(n), &link,

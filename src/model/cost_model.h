@@ -84,6 +84,20 @@ class FpgaCostModel {
     return n / TotalRateTuplesPerSec(n, mode, layout, link, interference);
   }
 
+  /// Queue-aware service estimate for the svc scheduler: the FPGA is a
+  /// single exclusive device, so a newly admitted job first waits out the
+  /// backlog of already-placed device work (M/D/1-style, with the backlog
+  /// tracked by the arbiter) and only then streams at P_total. The svc
+  /// placement compares this end-to-end latency against the CPU path and
+  /// falls back to the CPU when the device queueing delay dominates.
+  double PredictLatencySeconds(uint64_t n, OutputMode mode, LayoutMode layout,
+                               LinkKind link, double queue_backlog_seconds,
+                               Interference interference =
+                                   Interference::kAlone) const {
+    return queue_backlog_seconds +
+           PredictSeconds(n, mode, layout, link, interference);
+  }
+
   int tuple_width() const { return width_; }
   uint32_t fanout() const { return fanout_; }
 

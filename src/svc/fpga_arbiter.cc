@@ -1,0 +1,65 @@
+#include "svc/fpga_arbiter.h"
+
+namespace fpart::svc {
+
+Status FpgaArbiter::Acquire(JobRecord* rec) {
+  const WaitKey key{rec->deadline_key, rec->seq};
+  std::unique_lock<std::mutex> lock(mu_);
+  waiters_.insert(key);
+  for (;;) {
+    if (rec->cancel.load(std::memory_order_relaxed)) {
+      waiters_.erase(key);
+      // The departing waiter may have been the one everybody was ordered
+      // behind — wake the rest so the best remaining waiter can claim a
+      // free device.
+      cv_.notify_all();
+      return Status::Cancelled("job " + std::to_string(rec->id) +
+                               " cancelled while waiting for FPGA lease");
+    }
+    if (holder_ == nullptr && *waiters_.begin() == key) {
+      waiters_.erase(key);
+      holder_ = rec;
+      ++grants_;
+      return Status::OK();
+    }
+    cv_.wait(lock);
+  }
+}
+
+void FpgaArbiter::Release(JobRecord* rec) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (holder_ == rec) holder_ = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void FpgaArbiter::NotifyCancelled() { cv_.notify_all(); }
+
+void FpgaArbiter::AddBacklog(double est_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  backlog_seconds_ += est_seconds;
+}
+
+void FpgaArbiter::SubBacklog(double est_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  backlog_seconds_ -= est_seconds;
+  if (backlog_seconds_ < 0.0) backlog_seconds_ = 0.0;
+}
+
+double FpgaArbiter::backlog_seconds() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return backlog_seconds_;
+}
+
+uint64_t FpgaArbiter::grants() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return grants_;
+}
+
+size_t FpgaArbiter::waiters() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+}  // namespace fpart::svc

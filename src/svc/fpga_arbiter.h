@@ -1,0 +1,69 @@
+// Exclusive lease arbitration for the single (simulated) FPGA device.
+//
+// The paper's platform has one QPI-attached FPGA shared by everything on
+// the machine (Section 2.1); the svc runtime serializes access through
+// this arbiter. Waiters are granted the device earliest-deadline-first,
+// FIFO (arrival sequence) among equal or absent deadlines — the same
+// ordering the admission queue uses, so a job's position cannot invert
+// between queue and device.
+//
+// Cancellation: a waiter whose job's cancel token fires leaves the wait
+// set and returns Status::Cancelled; the lease is handed to the next
+// waiter immediately (no orphaned grant, no stalled queue). The scheduler
+// calls NotifyCancelled() after setting a token so sleeping waiters
+// re-check it.
+//
+// Backlog accounting: the arbiter tracks the summed *model-time* estimate
+// of all device work placed but not yet finished. Placement reads it as
+// the device queueing delay (FpgaCostModel::PredictLatencySeconds) and
+// falls back to the CPU when that delay exceeds the CPU estimate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/status.h"
+#include "svc/job.h"
+
+namespace fpart::svc {
+
+class FpgaArbiter {
+ public:
+  FpgaArbiter() = default;
+  FPART_DISALLOW_COPY_AND_ASSIGN(FpgaArbiter);
+
+  /// Block until `rec` holds the exclusive device lease, or until its
+  /// cancel token fires (Status::Cancelled; the reservation is removed and
+  /// the next waiter woken). On OK the caller MUST Release(rec).
+  Status Acquire(JobRecord* rec);
+
+  /// Return the lease and hand it to the best remaining waiter.
+  void Release(JobRecord* rec);
+
+  /// Wake sleeping waiters so they re-check their cancel tokens.
+  void NotifyCancelled();
+
+  /// Placed-but-unfinished device work in model seconds.
+  void AddBacklog(double est_seconds);
+  void SubBacklog(double est_seconds);
+  double backlog_seconds() const;
+
+  /// Lifetime grant count (lease handoffs = grants - 1 while serving).
+  uint64_t grants() const;
+  size_t waiters() const;
+
+ private:
+  using WaitKey = std::pair<double, uint64_t>;  // (deadline_key, seq)
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const JobRecord* holder_ = nullptr;
+  std::set<WaitKey> waiters_;
+  double backlog_seconds_ = 0.0;
+  uint64_t grants_ = 0;
+};
+
+}  // namespace fpart::svc

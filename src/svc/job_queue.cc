@@ -1,0 +1,98 @@
+#include "svc/job_queue.h"
+
+namespace fpart::svc {
+
+JobQueue::JobQueue(size_t capacity, bool strict_seq)
+    : capacity_(capacity == 0 ? 1 : capacity), strict_seq_(strict_seq) {}
+
+Status JobQueue::Push(std::shared_ptr<JobRecord> rec) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::InvalidArgument("job queue is closed");
+    }
+    const size_t depth = strict_seq_ ? by_seq_.size() : by_deadline_.size();
+    if (depth >= capacity_) {
+      ++shed_;
+      if (strict_seq_) {
+        // Leave a tombstone so Pop never stalls on this sequence number.
+        skipped_.insert(rec->seq);
+      }
+      cv_.notify_all();
+      return Status::CapacityError("svc queue full (" +
+                                   std::to_string(capacity_) +
+                                   " jobs); job shed");
+    }
+    ++pushed_;
+    if (strict_seq_) {
+      by_seq_.emplace(rec->seq, std::move(rec));
+    } else {
+      by_deadline_.emplace(OrderKey{rec->deadline_key, rec->seq},
+                           std::move(rec));
+    }
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+std::shared_ptr<JobRecord> JobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (strict_seq_) {
+      // Skip over admission-shed sequence numbers.
+      while (skipped_.count(next_seq_) > 0) {
+        skipped_.erase(next_seq_);
+        ++next_seq_;
+      }
+      auto it = by_seq_.find(next_seq_);
+      if (it != by_seq_.end()) {
+        auto rec = std::move(it->second);
+        by_seq_.erase(it);
+        ++next_seq_;
+        return rec;
+      }
+      if (closed_) {
+        if (by_seq_.empty()) return nullptr;
+        // Contract violation tolerance: after Close() every admitted
+        // sequence is final, so a gap can never be filled — skip to the
+        // smallest sequence actually present instead of hanging.
+        next_seq_ = by_seq_.begin()->first;
+        continue;
+      }
+    } else {
+      if (!by_deadline_.empty()) {
+        auto it = by_deadline_.begin();
+        auto rec = std::move(it->second);
+        by_deadline_.erase(it);
+        return rec;
+      }
+      if (closed_) return nullptr;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t JobQueue::depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return strict_seq_ ? by_seq_.size() : by_deadline_.size();
+}
+
+uint64_t JobQueue::pushed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+uint64_t JobQueue::shed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace fpart::svc

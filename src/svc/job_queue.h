@@ -1,0 +1,71 @@
+// Bounded admission queue of the svc runtime: concurrent clients push
+// JobRecords, the scheduler's dispatcher pops them.
+//
+// Two orderings:
+//  * live mode — (deadline, arrival seq): earliest-deadline-first with
+//    FIFO among equal (or absent) deadlines;
+//  * deterministic mode (strict_seq) — strictly by the caller-assigned
+//    contiguous arrival sequence, so placement processes jobs in the same
+//    order on every replay regardless of client-thread interleaving. A
+//    job shed at admission leaves a tombstone so the dispatcher never
+//    waits for a sequence number that will not arrive.
+//
+// Admission control: Push on a full queue rejects with
+// Status::CapacityError — the typed backpressure signal clients see.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "common/status.h"
+#include "svc/job.h"
+
+namespace fpart::svc {
+
+class JobQueue {
+ public:
+  /// \param capacity    maximum queued (admitted, undispatched) jobs
+  /// \param strict_seq  deterministic mode: pop strictly by arrival_seq
+  JobQueue(size_t capacity, bool strict_seq);
+
+  FPART_DISALLOW_COPY_AND_ASSIGN(JobQueue);
+
+  /// Admit a job, or reject with Status::CapacityError when the queue is
+  /// full (the record is untouched; the caller sheds it). Errors with
+  /// Status::InvalidArgument after Close().
+  Status Push(std::shared_ptr<JobRecord> rec);
+
+  /// Next job in queue order; blocks while empty. Returns nullptr once the
+  /// queue is closed and drained.
+  std::shared_ptr<JobRecord> Pop();
+
+  /// Stop admissions and wake the dispatcher once drained.
+  void Close();
+
+  size_t depth() const;
+  uint64_t pushed() const;
+  uint64_t shed() const;
+
+ private:
+  using OrderKey = std::pair<double, uint64_t>;  // (deadline_key, seq)
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const size_t capacity_;
+  const bool strict_seq_;
+  bool closed_ = false;
+  std::map<OrderKey, std::shared_ptr<JobRecord>> by_deadline_;
+  std::map<uint64_t, std::shared_ptr<JobRecord>> by_seq_;
+  /// strict_seq only: sequence numbers shed at admission (tombstones).
+  std::set<uint64_t> skipped_;
+  uint64_t next_seq_ = 0;  // strict_seq only: next sequence to dispatch
+  uint64_t pushed_ = 0;
+  uint64_t shed_ = 0;
+};
+
+}  // namespace fpart::svc

@@ -1,0 +1,78 @@
+// Backend placement policy of the svc scheduler.
+//
+// DecidePlacement is a *pure function* of its input: the Section 4.6 FPGA
+// cost model and the calibrated CPU model predict the service time of the
+// job on each backend, each backend's current backlog (model seconds of
+// already-placed, unfinished work) is added as queueing delay, and the
+// backend with the lower end-to-end latency wins. Ties — within a relative
+// epsilon — go to the FPGA: the paper's core argument (Sections 2, 5.4) is
+// that offloading frees the CPU cores for other work, so at equal latency
+// the device is strictly preferable.
+//
+// Purity is what makes the deterministic replay mode possible: given the
+// same job stream and the same virtual backlog evolution, every run makes
+// identical decisions regardless of thread interleaving.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/config.h"
+#include "hash/hash_function.h"
+#include "svc/job.h"
+
+namespace fpart::svc {
+
+/// Everything the policy is allowed to look at.
+struct PlacementInput {
+  JobKind kind = JobKind::kPartition;
+
+  /// Partition jobs: input cardinality. Join jobs: build/probe cardinality.
+  uint64_t n_tuples = 0;
+  uint64_t r_tuples = 0;
+  uint64_t s_tuples = 0;
+
+  /// Circuit / request configuration.
+  int tuple_width = 8;
+  uint32_t fanout = 2048;
+  OutputMode mode = OutputMode::kPad;
+  LayoutMode layout = LayoutMode::kRid;
+  LinkKind link = LinkKind::kXeonFpga;
+  HashMethod hash = HashMethod::kMurmur;
+  Interference interference = Interference::kAlone;
+
+  /// Threads a CPU placement would get.
+  size_t cpu_threads = 1;
+
+  /// Queueing state: model seconds of placed-but-unfinished work per
+  /// backend (live mode: arbiter/scheduler backlog; deterministic mode:
+  /// virtual clocks minus the job's virtual arrival time).
+  double fpga_backlog_seconds = 0.0;
+  double cpu_backlog_seconds = 0.0;
+};
+
+/// The policy's verdict plus the estimates that produced it (the scheduler
+/// records them for backlog accounting and observability).
+struct PlacementDecision {
+  Backend backend = Backend::kCpu;
+  /// Service time (model seconds, no queueing) on each path. For joins the
+  /// FPGA path is the hybrid join (device partitioning + CPU build/probe).
+  double est_fpga_seconds = 0.0;
+  double est_cpu_seconds = 0.0;
+  /// Portion of est_fpga_seconds spent holding the device lease — what the
+  /// arbiter backlog is charged. Equals est_fpga_seconds for partition
+  /// jobs; for hybrid joins it covers only the partitioning passes.
+  double device_seconds = 0.0;
+  /// End-to-end latency estimates including the backlog queueing delay.
+  double fpga_latency_seconds = 0.0;
+  double cpu_latency_seconds = 0.0;
+  /// The two latencies were within the tie epsilon (FPGA chosen).
+  bool tie = false;
+};
+
+/// Relative latency margin inside which the FPGA is preferred even when it
+/// is nominally slower (it frees the host cores).
+inline constexpr double kPlacementTieEpsilon = 0.05;
+
+PlacementDecision DecidePlacement(const PlacementInput& in);
+
+}  // namespace fpart::svc

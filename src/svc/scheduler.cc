@@ -1,0 +1,647 @@
+#include "svc/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/engine.h"
+#include "join/hybrid_join.h"
+#include "join/radix_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace fpart::svc {
+namespace {
+
+void NameCurrentThread(const std::string& prefix, size_t index) {
+#if defined(__linux__)
+  std::string name = prefix + "/" + std::to_string(index);
+  if (name.size() > 15) name.resize(15);
+  pthread_setname_np(pthread_self(), name.c_str());
+#else
+  (void)prefix;
+  (void)index;
+#endif
+}
+
+struct SvcMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* shed;
+  obs::Counter* placed_cpu;
+  obs::Counter* placed_fpga;
+  obs::Counter* placed_hybrid;
+  obs::Counter* placed_ties;
+  obs::Counter* cpu_busy_us;
+  obs::Counter* fpga_busy_us;
+  obs::Histogram* queue_us;
+  obs::Histogram* run_us;
+  obs::Histogram* total_us;
+  obs::Histogram* lease_wait_us;
+  obs::Gauge* queue_depth;
+  obs::Gauge* fpga_backlog;
+  obs::Gauge* cpu_backlog;
+};
+
+SvcMetrics& Metrics() {
+  static SvcMetrics m = [] {
+    auto& reg = obs::Registry::Global();
+    SvcMetrics x;
+    x.submitted = reg.GetCounter("svc.jobs.submitted", "jobs",
+                                 "jobs admitted to the service queue");
+    x.completed = reg.GetCounter("svc.jobs.completed", "jobs",
+                                 "jobs finished successfully");
+    x.failed = reg.GetCounter("svc.jobs.failed", "jobs",
+                              "jobs whose backend returned an error");
+    x.cancelled = reg.GetCounter("svc.jobs.cancelled", "jobs",
+                                 "jobs cancelled before or during execution");
+    x.shed = reg.GetCounter("svc.jobs.shed", "jobs",
+                            "jobs rejected at admission (queue full)");
+    x.placed_cpu = reg.GetCounter("svc.placed.cpu", "jobs",
+                                  "jobs placed on the CPU backend");
+    x.placed_fpga = reg.GetCounter("svc.placed.fpga", "jobs",
+                                   "jobs placed on the FPGA backend");
+    x.placed_hybrid = reg.GetCounter("svc.placed.hybrid", "jobs",
+                                     "join jobs placed on the hybrid path");
+    x.placed_ties = reg.GetCounter(
+        "svc.placed.ties", "jobs",
+        "placements decided by the FPGA-preferred tie rule");
+    x.cpu_busy_us = reg.GetCounter("svc.backend.cpu.busy_us", "us",
+                                   "wall time workers spent in CPU jobs");
+    x.fpga_busy_us = reg.GetCounter(
+        "svc.backend.fpga.busy_us", "us",
+        "wall time workers spent holding the device lease");
+    x.queue_us = reg.GetHistogram("svc.job.queue_us", "us",
+                                  "submit -> execution start");
+    x.run_us = reg.GetHistogram("svc.job.run_us", "us",
+                                "execution start -> completion");
+    x.total_us = reg.GetHistogram("svc.job.total_us", "us",
+                                  "submit -> completion");
+    x.lease_wait_us = reg.GetHistogram("svc.fpga.lease_wait_us", "us",
+                                       "wait for the exclusive FPGA lease");
+    x.queue_depth = reg.GetGauge("svc.queue.depth", "jobs",
+                                 "admitted jobs awaiting dispatch");
+    x.fpga_backlog = reg.GetGauge("svc.fpga.backlog_seconds", "s",
+                                  "placed-but-unfinished device model time");
+    x.cpu_backlog = reg.GetGauge("svc.cpu.backlog_seconds", "s",
+                                 "placed-but-unfinished CPU model time");
+    return x;
+  }();
+  return m;
+}
+
+uint64_t ToMicros(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<uint64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+const char* JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kPartition:
+      return "partition";
+    case JobKind::kJoin:
+      return "join";
+  }
+  return "unknown";
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kCpu:
+      return "cpu";
+    case Backend::kFpga:
+      return "fpga";
+    case Backend::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kAdaptive:
+      return "adaptive";
+    case PlacementPolicy::kCpuOnly:
+      return "cpu-only";
+    case PlacementPolicy::kFpgaOnly:
+      return "fpga-only";
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity, config_.deterministic),
+      epoch_(std::chrono::steady_clock::now()),
+      paused_(config_.start_paused) {
+  if (config_.num_workers == 0) config_.num_workers = 1;
+  if (config_.cpu_threads_per_job == 0) config_.cpu_threads_per_job = 1;
+  virt_worker_free_.assign(config_.num_workers, 0.0);
+  if (config_.cpu_threads_per_job > 1) {
+    worker_pools_.resize(config_.num_workers);
+    for (size_t w = 0; w < config_.num_workers; ++w) {
+      worker_pools_[w] = std::make_unique<ThreadPool>(
+          config_.cpu_threads_per_job, config_.name + "-j" +
+                                           std::to_string(w));
+    }
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  workers_.reserve(config_.num_workers);
+  for (size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+double Scheduler::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+double Scheduler::cpu_backlog_seconds() const {
+  std::unique_lock<std::mutex> lock(ready_mu_);
+  return cpu_backlog_seconds_;
+}
+
+Result<JobHandle> Scheduler::Submit(const PartitionJobSpec& spec,
+                                    const JobOptions& opts) {
+  if (spec.input == nullptr) {
+    return Status::InvalidArgument("partition job has no input relation");
+  }
+  auto rec = std::make_shared<JobRecord>();
+  rec->kind = JobKind::kPartition;
+  rec->partition = spec;
+  rec->opts = opts;
+  return SubmitRecord(std::move(rec));
+}
+
+Result<JobHandle> Scheduler::Submit(const JoinJobSpec& spec,
+                                    const JobOptions& opts) {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("join job needs both input relations");
+  }
+  auto rec = std::make_shared<JobRecord>();
+  rec->kind = JobKind::kJoin;
+  rec->join = spec;
+  rec->opts = opts;
+  return SubmitRecord(std::move(rec));
+}
+
+Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("scheduler is shut down");
+  }
+  rec->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  rec->seq = rec->opts.arrival_seq != kAutoArrivalSeq
+                 ? rec->opts.arrival_seq
+                 : next_seq_.fetch_add(1, std::memory_order_relaxed);
+  rec->submit_seconds = NowSeconds();
+  if (rec->opts.deadline_seconds > 0.0) {
+    rec->deadline_key = rec->submit_seconds + rec->opts.deadline_seconds;
+  }
+  JobHandle handle(rec);
+  Status pushed = queue_.Push(rec);
+  if (!pushed.ok()) {
+    if (pushed.IsCapacityError()) {
+      Metrics().shed->Add();
+      JobOutcome out;
+      out.status = pushed;
+      CompleteJob(rec, JobState::kShed, pushed, out);
+    }
+    return pushed;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().submitted->Add();
+  Metrics().queue_depth->Set(static_cast<double>(queue_.depth()));
+  return handle;
+}
+
+void Scheduler::Resume() {
+  {
+    std::unique_lock<std::mutex> lock(pause_mu_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void Scheduler::Cancel(const JobHandle& handle) {
+  handle.Cancel();
+  arbiter_.NotifyCancelled();
+}
+
+void Scheduler::Shutdown() {
+  bool was = shutdown_.exchange(true, std::memory_order_acq_rel);
+  if (was) return;
+  queue_.Close();
+  Resume();  // a paused dispatcher must still drain
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    dispatch_done_ = true;
+  }
+  ready_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  worker_pools_.clear();
+}
+
+void Scheduler::PlaceJob(JobRecord* rec) {
+  PlacementInput in;
+  in.kind = rec->kind;
+  in.cpu_threads = config_.cpu_threads_per_job;
+  if (rec->kind == JobKind::kPartition) {
+    const PartitionRequest& req = rec->partition.request;
+    in.n_tuples = rec->partition.input->size();
+    in.fanout = req.fanout;
+    in.mode = req.output_mode;
+    in.layout = req.layout;
+    in.link = req.link;
+    in.hash = req.hash;
+    in.interference = req.interference;
+  } else {
+    in.r_tuples = rec->join.r->size();
+    in.s_tuples = rec->join.s->size();
+    in.fanout = rec->join.fanout;
+    in.hash = rec->join.hash;
+    in.mode = OutputMode::kHist;  // the hybrid path partitions HIST-mode
+    in.link = LinkKind::kXeonFpga;
+  }
+
+  const double t_arrival = config_.deterministic
+                               ? rec->opts.virtual_arrival_seconds
+                               : rec->submit_seconds;
+  size_t virt_worker = 0;
+  if (config_.deterministic) {
+    virt_worker = static_cast<size_t>(
+        std::min_element(virt_worker_free_.begin(), virt_worker_free_.end()) -
+        virt_worker_free_.begin());
+    in.fpga_backlog_seconds = std::max(0.0, virt_fpga_free_ - t_arrival);
+    in.cpu_backlog_seconds =
+        std::max(0.0, virt_worker_free_[virt_worker] - t_arrival);
+  } else {
+    in.fpga_backlog_seconds = arbiter_.backlog_seconds();
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    in.cpu_backlog_seconds =
+        cpu_backlog_seconds_ / static_cast<double>(config_.num_workers);
+  }
+
+  PlacementDecision d = DecidePlacement(in);
+  const Backend device_backend =
+      rec->kind == JobKind::kPartition ? Backend::kFpga : Backend::kHybrid;
+  Backend backend = d.backend;
+  if (rec->opts.pinned.has_value()) {
+    backend = *rec->opts.pinned;
+  } else {
+    switch (config_.policy) {
+      case PlacementPolicy::kAdaptive:
+        break;
+      case PlacementPolicy::kCpuOnly:
+        backend = Backend::kCpu;
+        break;
+      case PlacementPolicy::kFpgaOnly:
+        backend = device_backend;
+        break;
+      case PlacementPolicy::kRoundRobin:
+        backend = rec->seq % 2 == 0 ? device_backend : Backend::kCpu;
+        break;
+    }
+  }
+  // A partition job can never be "hybrid" and a join never plain-"fpga":
+  // normalize bad pins to the device backend of the job kind.
+  if (backend != Backend::kCpu) backend = device_backend;
+
+  rec->outcome.backend = backend;
+  rec->placed_estimate_seconds =
+      backend == Backend::kCpu ? d.est_cpu_seconds : d.device_seconds;
+
+  // Charge the chosen backend's backlog (credited back at completion) and,
+  // in deterministic mode, advance the virtual clocks.
+  if (config_.deterministic) {
+    if (backend == Backend::kCpu) {
+      const double start =
+          std::max(t_arrival, virt_worker_free_[virt_worker]);
+      virt_worker_free_[virt_worker] = start + d.est_cpu_seconds;
+    } else {
+      // Device jobs hold a worker for the whole run and the device for the
+      // lease phase; the device clock gates the start.
+      const double start = std::max(
+          {t_arrival, virt_fpga_free_, virt_worker_free_[virt_worker]});
+      virt_fpga_free_ = start + d.device_seconds;
+      virt_worker_free_[virt_worker] = start + d.est_fpga_seconds;
+    }
+  } else if (backend == Backend::kCpu) {
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    cpu_backlog_seconds_ += d.est_cpu_seconds;
+    Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
+  } else {
+    arbiter_.AddBacklog(d.device_seconds);
+    Metrics().fpga_backlog->Set(arbiter_.backlog_seconds());
+  }
+
+  auto& m = Metrics();
+  switch (backend) {
+    case Backend::kCpu:
+      m.placed_cpu->Add();
+      break;
+    case Backend::kFpga:
+      m.placed_fpga->Add();
+      break;
+    case Backend::kHybrid:
+      m.placed_hybrid->Add();
+      break;
+  }
+  if (d.tie && !rec->opts.pinned.has_value() &&
+      config_.policy == PlacementPolicy::kAdaptive) {
+    m.placed_ties->Add();
+  }
+}
+
+void Scheduler::DispatcherLoop() {
+  NameCurrentThread(config_.name + "-disp", 0);
+  {
+    std::unique_lock<std::mutex> lock(pause_mu_);
+    pause_cv_.wait(lock, [this] { return !paused_; });
+  }
+  for (;;) {
+    std::shared_ptr<JobRecord> rec = queue_.Pop();
+    Metrics().queue_depth->Set(static_cast<double>(queue_.depth()));
+    if (rec == nullptr) break;  // closed and drained
+    PlaceJob(rec.get());
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_.push_back(std::move(rec));
+    }
+    ready_cv_.notify_one();
+  }
+  {
+    std::unique_lock<std::mutex> lock(ready_mu_);
+    dispatch_done_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+void Scheduler::WorkerLoop(size_t index) {
+  NameCurrentThread(config_.name + "-wkr", index);
+  for (;;) {
+    std::shared_ptr<JobRecord> rec;
+    {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      ready_cv_.wait(lock,
+                     [this] { return !ready_.empty() || dispatch_done_; });
+      if (ready_.empty()) {
+        if (dispatch_done_) return;
+        continue;
+      }
+      rec = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    ExecuteJob(rec, index);
+  }
+}
+
+void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
+                           size_t worker) {
+  auto& m = Metrics();
+  const double start_seconds = NowSeconds();
+  const double queue_seconds = start_seconds - rec->submit_seconds;
+  m.queue_us->Record(ToMicros(queue_seconds));
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    // The queue phase spans two threads (client submit -> worker start),
+    // so it is emitted manually rather than via the same-thread TraceSpan.
+    const double end_us = tracer.NowUs();
+    const double dur_us = queue_seconds * 1e6;
+    tracer.CompleteEvent("svc.job.queue", "svc",
+                         std::max(0.0, end_us - dur_us), dur_us,
+                         obs::kHostTracePid, obs::CurrentTraceTid());
+  }
+
+  JobOutcome out;
+  out.backend = rec->outcome.backend;
+  out.queue_seconds = queue_seconds;
+
+  Status status;
+  if (rec->cancel.load(std::memory_order_relaxed)) {
+    status = Status::Cancelled("job " + std::to_string(rec->id) +
+                               " cancelled while queued");
+  } else {
+    obs::TraceSpan span("svc.run", "svc");
+    status = rec->kind == JobKind::kPartition
+                 ? RunPartitionJob(rec.get(), worker, &out)
+                 : RunJoinJob(rec.get(), worker, &out);
+  }
+  out.run_seconds = NowSeconds() - start_seconds;
+  m.run_us->Record(ToMicros(out.run_seconds));
+  m.total_us->Record(ToMicros(out.queue_seconds + out.run_seconds));
+
+  // Credit the backlog charged at placement.
+  if (!config_.deterministic) {
+    if (out.backend == Backend::kCpu) {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      cpu_backlog_seconds_ =
+          std::max(0.0, cpu_backlog_seconds_ - rec->placed_estimate_seconds);
+      Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
+    } else {
+      arbiter_.SubBacklog(rec->placed_estimate_seconds);
+      Metrics().fpga_backlog->Set(arbiter_.backlog_seconds());
+    }
+  }
+
+  JobState state = JobState::kCompleted;
+  if (status.IsCancelled()) {
+    state = JobState::kCancelled;
+  } else if (!status.ok()) {
+    state = JobState::kFailed;
+  }
+  CompleteJob(rec, state, std::move(status), out);
+}
+
+Status Scheduler::RunPartitionJob(JobRecord* rec, size_t worker,
+                                  JobOutcome* out) {
+  PartitionRequest req = rec->partition.request;
+  req.cancel = &rec->cancel;
+  auto& m = Metrics();
+
+  if (out->backend == Backend::kCpu) {
+    req.engine = Engine::kCpu;
+    req.num_threads = config_.cpu_threads_per_job;
+    req.pool = worker_pools_.empty() ? nullptr : worker_pools_[worker].get();
+    cpu_busy_.fetch_add(1, std::memory_order_relaxed);
+    const double t0 = NowSeconds();
+    auto result = RunPartition<Tuple8>(req, *rec->partition.input);
+    m.cpu_busy_us->Add(ToMicros(NowSeconds() - t0));
+    cpu_busy_.fetch_sub(1, std::memory_order_relaxed);
+    FPART_RETURN_NOT_OK(result.status());
+    const auto& report = result.ValueOrDie();
+    out->device_seconds = 0.0;
+    std::vector<uint64_t> counts(report.output.num_partitions());
+    for (size_t p = 0; p < counts.size(); ++p) {
+      counts[p] = report.output.part(p).num_tuples;
+    }
+    out->checksum = HistogramChecksum(counts.data(), counts.size());
+    return Status::OK();
+  }
+
+  // FPGA placement: exclusive device lease first.
+  const double wait0 = NowSeconds();
+  FPART_RETURN_NOT_OK(arbiter_.Acquire(rec));
+  const double lease0 = NowSeconds();
+  m.lease_wait_us->Record(ToMicros(lease0 - wait0));
+
+  req.engine = Engine::kFpgaSim;
+  if (config_.adaptive_interference && !config_.deterministic &&
+      cpu_busy_.load(std::memory_order_relaxed) > 0) {
+    req.interference = Interference::kInterfered;
+  }
+  auto result = RunPartition<Tuple8>(req, *rec->partition.input);
+  arbiter_.Release(rec);
+  m.fpga_busy_us->Add(ToMicros(NowSeconds() - lease0));
+  FPART_RETURN_NOT_OK(result.status());
+  const auto& report = result.ValueOrDie();
+  out->device_seconds = report.seconds;
+  std::vector<uint64_t> counts(report.output.num_partitions());
+  for (size_t p = 0; p < counts.size(); ++p) {
+    counts[p] = report.output.part(p).num_tuples;
+  }
+  out->checksum = HistogramChecksum(counts.data(), counts.size());
+  return Status::OK();
+}
+
+Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {
+  auto& m = Metrics();
+  ThreadPool* pool =
+      worker_pools_.empty() ? nullptr : worker_pools_[worker].get();
+
+  if (out->backend == Backend::kCpu) {
+    CpuJoinConfig config;
+    config.fanout = rec->join.fanout;
+    config.hash = rec->join.hash;
+    config.num_threads = config_.cpu_threads_per_job;
+    config.pool = pool;
+    cpu_busy_.fetch_add(1, std::memory_order_relaxed);
+    const double t0 = NowSeconds();
+    auto result = CpuRadixJoin(config, *rec->join.r, *rec->join.s);
+    m.cpu_busy_us->Add(ToMicros(NowSeconds() - t0));
+    cpu_busy_.fetch_sub(1, std::memory_order_relaxed);
+    FPART_RETURN_NOT_OK(result.status());
+    const JoinResult& jr = result.ValueOrDie();
+    out->matches = jr.matches;
+    out->checksum = jr.checksum;
+    out->device_seconds = 0.0;
+    return Status::OK();
+  }
+
+  // Hybrid: the lease covers only the device partitioning passes; the CPU
+  // build+probe runs after Release so queued device jobs can proceed.
+  FpgaPartitionerConfig fpga;
+  fpga.fanout = rec->join.fanout;
+  fpga.hash = rec->join.hash;
+  fpga.output_mode = OutputMode::kHist;  // never overflows
+  fpga.layout = LayoutMode::kRid;
+  fpga.link = LinkKind::kXeonFpga;
+  fpga.cancel = &rec->cancel;
+  if (config_.adaptive_interference && !config_.deterministic &&
+      cpu_busy_.load(std::memory_order_relaxed) > 0) {
+    fpga.interference = Interference::kInterfered;
+  }
+
+  const double wait0 = NowSeconds();
+  FPART_RETURN_NOT_OK(arbiter_.Acquire(rec));
+  const double lease0 = NowSeconds();
+  m.lease_wait_us->Record(ToMicros(lease0 - wait0));
+
+  auto run_device = [&]() -> Result<std::pair<FpgaRunResult<Tuple8>,
+                                              FpgaRunResult<Tuple8>>> {
+    FPART_ASSIGN_OR_RETURN(
+        FpgaRunResult<Tuple8> pr,
+        internal::HybridPartition(fpga, *rec->join.r));
+    FPART_ASSIGN_OR_RETURN(
+        FpgaRunResult<Tuple8> ps,
+        internal::HybridPartition(fpga, *rec->join.s));
+    return std::make_pair(std::move(pr), std::move(ps));
+  };
+  auto device = run_device();
+  arbiter_.Release(rec);
+  m.fpga_busy_us->Add(ToMicros(NowSeconds() - lease0));
+  FPART_RETURN_NOT_OK(device.status());
+  auto& [pr, ps] = device.ValueOrDie();
+  out->device_seconds = pr.seconds + ps.seconds;
+
+  if (rec->cancel.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("job " + std::to_string(rec->id) +
+                             " cancelled after device phase");
+  }
+
+  cpu_busy_.fetch_add(1, std::memory_order_relaxed);
+  const double t0 = NowSeconds();
+  BuildProbeStats bp = ParallelBuildProbe(
+      pr.output, ps.output, config_.cpu_threads_per_job, pool,
+      static_cast<const Tuple8*>(nullptr), /*prefetch_distance=*/16);
+  m.cpu_busy_us->Add(ToMicros(NowSeconds() - t0));
+  cpu_busy_.fetch_sub(1, std::memory_order_relaxed);
+
+  out->matches = bp.matches;
+  out->checksum = bp.checksum;
+  return Status::OK();
+}
+
+void Scheduler::CompleteJob(const std::shared_ptr<JobRecord>& rec,
+                            JobState state, Status status,
+                            JobOutcome outcome) {
+  auto& m = Metrics();
+  switch (state) {
+    case JobState::kCompleted:
+      m.completed->Add();
+      break;
+    case JobState::kFailed:
+      m.failed->Add();
+      break;
+    case JobState::kCancelled:
+      m.cancelled->Add();
+      break;
+    default:
+      break;  // kShed counted at admission
+  }
+  outcome.state = state;
+  outcome.status = std::move(status);
+  {
+    std::unique_lock<std::mutex> lock(rec->mu);
+    rec->outcome = std::move(outcome);
+    rec->done = true;
+  }
+  rec->cv.notify_all();
+}
+
+}  // namespace fpart::svc

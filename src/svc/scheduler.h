@@ -1,0 +1,179 @@
+// The multi-tenant partitioning service scheduler: the svc runtime's
+// control plane.
+//
+//   clients ── Submit ──▶ JobQueue ── dispatcher ──▶ ready deque ──▶ workers
+//                (admission)    (placement)                  (execution)
+//
+// One dispatcher thread pops admitted jobs in queue order, decides the
+// backend with DecidePlacement (cost model + live backlog), and hands the
+// job to one of `num_workers` named worker threads. FPGA and hybrid jobs
+// additionally acquire the exclusive device lease from the FpgaArbiter
+// before touching the simulator, so the single shared FPGA is never run
+// by two jobs at once — which is exactly why CPU fallback under device
+// backlog matters.
+//
+// Two clocks:
+//  * live mode — wall time; backlog doubles are kept by the arbiter (FPGA)
+//    and the scheduler (CPU) in model seconds, added at placement and
+//    subtracted at completion.
+//  * deterministic mode — virtual time: clients assign each job a
+//    contiguous arrival_seq and a virtual arrival timestamp; the
+//    dispatcher processes strictly in sequence order and advances
+//    per-backend virtual free clocks (list scheduling). Placement is then
+//    a pure function of the job stream — bit-identical across replays no
+//    matter how client threads interleave.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "svc/fpga_arbiter.h"
+#include "svc/job.h"
+#include "svc/job_queue.h"
+#include "svc/placement.h"
+
+namespace fpart::svc {
+
+/// How the dispatcher chooses a backend.
+enum class PlacementPolicy {
+  /// Cost-model + backlog comparison (DecidePlacement). The default.
+  kAdaptive,
+  /// Everything on the host CPU (baseline for the service benches).
+  kCpuOnly,
+  /// Everything on the device (saturates the arbiter; stress baseline).
+  kFpgaOnly,
+  /// Alternate by arrival sequence (placement-independent load split).
+  kRoundRobin,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+/// \brief Scheduler construction knobs.
+struct SchedulerConfig {
+  /// Admission queue bound; Submit sheds with CapacityError beyond it.
+  size_t queue_capacity = 256;
+  /// Worker threads executing placed jobs (each runs one job at a time).
+  size_t num_workers = 4;
+  /// CPU threads a single job's partition/build+probe phases may use
+  /// (1 = run inline on the worker; >1 = per-worker pool).
+  size_t cpu_threads_per_job = 1;
+  PlacementPolicy policy = PlacementPolicy::kAdaptive;
+  /// Deterministic replay mode (strict arrival-seq dispatch + virtual
+  /// clocks). See the file comment.
+  bool deterministic = false;
+  /// Mark FPGA runs as link-interfered while host workers are busy
+  /// (Figure 2's "interfered" curves). Live mode only — deterministic
+  /// replays use each request's own interference setting.
+  bool adaptive_interference = true;
+  /// Construct with the dispatcher held; jobs queue until Resume(). Lets
+  /// tests stage admission-control and cancellation scenarios.
+  bool start_paused = false;
+  /// Thread-name prefix of the dispatcher/worker threads.
+  std::string name = "svc";
+};
+
+/// \brief The service runtime. Owns the queue, the arbiter, the dispatcher
+/// and the worker threads; Shutdown() (or destruction) drains in-flight
+/// jobs.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerConfig config);
+  ~Scheduler();
+
+  FPART_DISALLOW_COPY_AND_ASSIGN(Scheduler);
+
+  /// Submit a partitioning job. Returns CapacityError when the admission
+  /// queue is full (the job is shed, backpressure to the client) or
+  /// InvalidArgument after Shutdown / for a malformed spec.
+  Result<JobHandle> Submit(const PartitionJobSpec& spec,
+                           const JobOptions& opts = {});
+  /// Submit an equi-join job (same admission semantics).
+  Result<JobHandle> Submit(const JoinJobSpec& spec,
+                           const JobOptions& opts = {});
+
+  /// Release a start_paused dispatcher.
+  void Resume();
+
+  /// Request cancellation and wake any wait the job may be blocked in
+  /// (FPGA lease). Equivalent to handle.Cancel() plus the wakeup.
+  void Cancel(const JobHandle& handle);
+
+  /// Stop admissions, drain every queued and running job, join all
+  /// threads. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  size_t queue_depth() const { return queue_.depth(); }
+  double fpga_backlog_seconds() const { return arbiter_.backlog_seconds(); }
+  double cpu_backlog_seconds() const;
+  uint64_t jobs_submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t jobs_shed() const { return queue_.shed(); }
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  Result<JobHandle> SubmitRecord(std::shared_ptr<JobRecord> rec);
+  void DispatcherLoop();
+  void WorkerLoop(size_t index);
+
+  /// Decide the backend (policy + pinning), charge the chosen backlog and
+  /// stamp the record. Dispatcher-only.
+  void PlaceJob(JobRecord* rec);
+  /// Run the job on its placed backend and complete the record.
+  void ExecuteJob(const std::shared_ptr<JobRecord>& rec, size_t worker);
+  Status RunPartitionJob(JobRecord* rec, size_t worker, JobOutcome* out);
+  Status RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out);
+  void CompleteJob(const std::shared_ptr<JobRecord>& rec, JobState state,
+                   Status status, JobOutcome outcome);
+
+  double NowSeconds() const;
+
+  SchedulerConfig config_;
+  JobQueue queue_;
+  FpgaArbiter arbiter_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<bool> shutdown_{false};
+
+  // Dispatcher pause gate (start_paused).
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
+
+  // Placed jobs awaiting a worker.
+  mutable std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<std::shared_ptr<JobRecord>> ready_;
+  bool dispatch_done_ = false;
+
+  // Live-mode CPU backlog (model seconds), guarded by ready_mu_.
+  double cpu_backlog_seconds_ = 0.0;
+
+  // Workers currently executing CPU-side work (adaptive interference).
+  std::atomic<uint32_t> cpu_busy_{0};
+
+  // Deterministic mode: virtual free clocks, dispatcher-only.
+  double virt_fpga_free_ = 0.0;
+  std::vector<double> virt_worker_free_;
+
+  std::thread dispatcher_;
+  std::vector<std::thread> workers_;
+  /// Per-worker pools when cpu_threads_per_job > 1 (index = worker).
+  std::vector<std::unique_ptr<ThreadPool>> worker_pools_;
+};
+
+}  // namespace fpart::svc

@@ -5,7 +5,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "common/aligned_buffer.h"
 #include "common/env.h"
@@ -184,6 +190,73 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not hang
 }
+
+TEST(ThreadPoolTest, SubmitExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          pool.WaitIdle();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionOfBatchPropagates) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] {
+      ran.fetch_add(1);
+      throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // a throwing task never kills its worker
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(6,
+                                [](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("worker boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The error was consumed; the next batch runs clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+#if defined(__linux__)
+TEST(ThreadPoolTest, WorkersAreNamed) {
+  ThreadPool pool(2, "tp-name-test");
+  std::string worker_name;
+  pool.ParallelFor(2, [&](size_t i) {
+    if (i == 0) return;  // single writer: only index 1 records its name
+    char buf[16] = {};
+    pthread_getname_np(pthread_self(), buf, sizeof(buf));
+    worker_name = buf;
+  });
+  // "tp-name-test/<i>" clipped to the kernel's 15-char limit.
+  EXPECT_EQ(worker_name.substr(0, 12), "tp-name-test");
+}
+#endif
 
 TEST(EnvTest, ParsesAndDefaults) {
   ::setenv("FPART_TEST_D", "2.5", 1);
