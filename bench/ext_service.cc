@@ -1,20 +1,30 @@
 // Closed-loop driver of the svc runtime (docs/architecture.md, svc layer):
 // N client threads submit a Poisson stream of partitioning jobs (sizes
 // drawn Zipf-style from eight classes, small jobs most frequent, plus an
-// optional join mix) against one Scheduler arbitrating the single
-// simulated FPGA.
+// optional join mix) against one Scheduler arbitrating a pool of
+// simulated FPGA devices.
+//
+// Every job carries a priority class (interactive/batch/best-effort,
+// assigned deterministically from --seed); live-mode dispatch splits
+// service by weighted fair queueing over --classes weights.
 //
 // `--json` emits one fpart.obs.v1 document with exact p50/p95/p99 wall
-// latencies, the per-backend placement mix, and a determinism hash over
-// (job index, backend, checksum). In the default deterministic mode the
-// hash is bit-identical across runs for a fixed --seed no matter how the
-// client threads interleave; the driver exits non-zero if any job is
-// lost, duplicated, or failed.
+// latencies (overall and per priority class), the per-backend placement
+// mix, the per-device grant/busy utilization mix, the virtual-clock
+// makespan/throughput (deterministic mode — the model-time numbers that
+// scale with --fpga_devices regardless of host core count), and a
+// determinism hash over (job index, class, backend, checksum). In the default
+// deterministic mode the hash is bit-identical across runs for a fixed
+// --seed and --fpga_devices no matter how the client threads interleave;
+// the driver exits non-zero if any job is lost, duplicated, or failed.
 //
 // Flags (both `--flag N` and `--flag=N` spellings):
 //   --jobs N           total jobs to replay        (default 10000)
 //   --clients N        submitting client threads   (default 8)
 //   --workers N        scheduler worker threads    (default 4)
+//   --fpga_devices N   simulated FPGA devices      (default 1)
+//   --classes W,W,W    WFQ weights interactive,batch,besteffort
+//                      (default 8,3,1)
 //   --seed N           workload seed               (default 42)
 //   --rate R           Poisson arrival rate, jobs/s (default 5000)
 //   --queue N          admission queue bound (0 = auto: jobs when
@@ -22,7 +32,12 @@
 //   --deterministic B  1 = virtual-time replay (default), 0 = live wall
 //                      clock with real arrival sleeps and shedding
 //   --join-every K     every K-th job is an equi-join (0 = off, default 64)
+//   --policy P         adaptive|cpu|fpga|round-robin (default adaptive);
+//                      `fpga` pins every job to the device pool — the
+//                      device-bound load that shows pool throughput
+//                      scaling with --fpga_devices
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -36,6 +51,7 @@
 #include "common/rng.h"
 #include "datagen/workloads.h"
 #include "datagen/zipf.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "svc/scheduler.h"
 
@@ -46,12 +62,25 @@ struct Options {
   uint64_t jobs = 10000;
   size_t clients = 8;
   size_t workers = 4;
+  size_t fpga_devices = 1;
+  std::array<double, svc::kNumJobClasses> class_weights =
+      svc::kDefaultClassWeights;
   uint64_t seed = 42;
   double rate = 5000.0;
   size_t queue = 0;
   bool deterministic = true;
   uint64_t join_every = 64;
+  svc::PlacementPolicy policy = svc::PlacementPolicy::kAdaptive;
 };
+
+// Deterministic per-job priority class: a service sees a few interactive
+// tenants, a broad batch tier, and a best-effort tail.
+svc::JobClass DrawClass(Rng* rng) {
+  const double u = rng->NextDouble();
+  if (u < 0.25) return svc::JobClass::kInteractive;
+  if (u < 0.65) return svc::JobClass::kBatch;
+  return svc::JobClass::kBestEffort;
+}
 
 // The eight job size classes (tuples), scaled by FPART_SCALE. Zipf rank 1
 // maps to the smallest class: a service sees many small requests and few
@@ -106,16 +135,20 @@ int Run(const Options& opt) {
     }
   }
 
-  // Precomputed workload: per-job size class and Poisson arrival time.
-  // Both derive only from --seed, so every replay sees the same stream.
+  // Precomputed workload: per-job size class, priority class and Poisson
+  // arrival time. All derive only from --seed, so every replay sees the
+  // same stream.
   std::vector<size_t> job_class(opt.jobs);
+  std::vector<svc::JobClass> job_prio(opt.jobs);
   std::vector<double> arrival(opt.jobs);
   {
     ZipfSampler zipf(classes.size(), 0.9, opt.seed);
     Rng rng(opt.seed ^ 0xa5a5a5a5ULL);
+    Rng prio_rng(opt.seed ^ 0xc1a55e5ULL);
     double t = 0.0;
     for (uint64_t i = 0; i < opt.jobs; ++i) {
       job_class[i] = static_cast<size_t>(zipf.Next() - 1);
+      job_prio[i] = DrawClass(&prio_rng);
       double u = rng.NextDouble();
       if (u <= 0.0) u = 1e-12;
       t += -std::log(u) / opt.rate;  // exponential inter-arrival
@@ -126,6 +159,9 @@ int Run(const Options& opt) {
   svc::SchedulerConfig config;
   config.deterministic = opt.deterministic;
   config.num_workers = opt.workers;
+  config.fpga_devices = opt.fpga_devices;
+  config.class_weights = opt.class_weights;
+  config.policy = opt.policy;
   config.queue_capacity =
       opt.queue > 0 ? opt.queue : (opt.deterministic ? opt.jobs : 256);
   config.name = "svc";
@@ -151,6 +187,7 @@ int Run(const Options& opt) {
         svc::JobOptions jopts;
         jopts.arrival_seq = i;
         jopts.virtual_arrival_seconds = arrival[i];
+        jopts.job_class = job_prio[i];
         Result<svc::JobHandle> handle = [&]() -> Result<svc::JobHandle> {
           if (opt.join_every > 0 && (i + 1) % opt.join_every == 0) {
             svc::JoinJobSpec join;
@@ -191,6 +228,7 @@ int Run(const Options& opt) {
   uint64_t placed_cpu = 0, placed_fpga = 0, placed_hybrid = 0;
   std::vector<double> latencies;
   latencies.reserve(opt.jobs);
+  std::array<std::vector<double>, svc::kNumJobClasses> class_latencies;
   uint64_t determinism_hash = 0xcbf29ce484222325ULL;
   for (uint64_t i = 0; i < opt.jobs; ++i) {
     if (shed[i] != 0) {
@@ -237,19 +275,25 @@ int Run(const Options& opt) {
         ++placed_hybrid;
         break;
     }
-    latencies.push_back(outcome->queue_seconds + outcome->run_seconds);
+    const double latency = outcome->queue_seconds + outcome->run_seconds;
+    latencies.push_back(latency);
+    class_latencies[static_cast<size_t>(job_prio[i])].push_back(latency);
     determinism_hash = Fnv1a(determinism_hash, i);
+    determinism_hash = Fnv1a(
+        determinism_hash, static_cast<uint64_t>(job_prio[i]));
     determinism_hash = Fnv1a(
         determinism_hash, static_cast<uint64_t>(outcome->backend));
     determinism_hash = Fnv1a(determinism_hash, outcome->checksum);
   }
 
-  std::sort(latencies.begin(), latencies.end());
-  auto pct = [&](double p) {
-    if (latencies.empty()) return 0.0;
-    size_t idx = static_cast<size_t>(p * (latencies.size() - 1));
-    return latencies[idx] * 1e6;
+  auto pct_of = [](std::vector<double>& v, double p) {
+    if (v.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(p * (v.size() - 1));
+    return v[idx] * 1e6;
   };
+  std::sort(latencies.begin(), latencies.end());
+  for (auto& v : class_latencies) std::sort(v.begin(), v.end());
+  auto pct = [&](double p) { return pct_of(latencies, p); };
   double mean_us = 0.0;
   for (double l : latencies) mean_us += l;
   mean_us = latencies.empty() ? 0.0 : mean_us / latencies.size() * 1e6;
@@ -258,6 +302,17 @@ int Run(const Options& opt) {
   report.ConfigUInt("jobs", opt.jobs);
   report.ConfigUInt("clients", opt.clients);
   report.ConfigUInt("workers", opt.workers);
+  report.ConfigUInt("fpga_devices", opt.fpga_devices);
+  {
+    std::string w;
+    for (size_t c = 0; c < svc::kNumJobClasses; ++c) {
+      if (c > 0) w += ",";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", opt.class_weights[c]);
+      w += buf;
+    }
+    report.ConfigStr("class_weights", w);
+  }
   report.ConfigUInt("seed", opt.seed);
   report.ConfigDouble("rate_jobs_per_sec", opt.rate);
   report.ConfigUInt("queue_capacity", config.queue_capacity);
@@ -274,6 +329,58 @@ int Run(const Options& opt) {
                 {{"cpu", static_cast<double>(placed_cpu)},
                  {"fpga", static_cast<double>(placed_fpga)},
                  {"hybrid", static_cast<double>(placed_hybrid)}});
+  // Per priority class: tail latencies plus the observed WFQ service
+  // shares. contended_share is measured only while every class had
+  // backlog — the window over which the ±5% weight guarantee holds.
+  {
+    double weight_sum = 0.0, served_sum = 0.0, contended_sum = 0.0;
+    for (size_t c = 0; c < svc::kNumJobClasses; ++c) {
+      const auto cls = static_cast<svc::JobClass>(c);
+      weight_sum += opt.class_weights[c];
+      served_sum += scheduler.class_served_cost(cls);
+      contended_sum += scheduler.class_contended_cost(cls);
+    }
+    for (size_t c = 0; c < svc::kNumJobClasses; ++c) {
+      const auto cls = static_cast<svc::JobClass>(c);
+      auto& v = class_latencies[c];
+      const std::string name =
+          std::string("class_") + svc::JobClassName(cls);
+      report.Result(
+          name,
+          {{"count", static_cast<double>(v.size())},
+           {"p50_us", pct_of(v, 0.50)},
+           {"p95_us", pct_of(v, 0.95)},
+           {"p99_us", pct_of(v, 0.99)},
+           {"weight_share", opt.class_weights[c] / weight_sum},
+           {"served_share",
+            served_sum > 0 ? scheduler.class_served_cost(cls) / served_sum
+                           : 0.0},
+           {"contended_share",
+            contended_sum > 0
+                ? scheduler.class_contended_cost(cls) / contended_sum
+                : 0.0}});
+    }
+  }
+  // Per-device utilization mix of the FPGA pool.
+  {
+    const svc::DevicePool& pool = scheduler.device_pool();
+    auto& reg = obs::Registry::Global();
+    double busy_sum = 0.0;
+    std::vector<double> busy(pool.num_devices());
+    for (size_t i = 0; i < pool.num_devices(); ++i) {
+      busy[i] = static_cast<double>(
+          reg.GetCounter("svc.device." + std::to_string(i) + ".busy_us")
+              ->Value());
+      busy_sum += busy[i];
+    }
+    for (size_t i = 0; i < pool.num_devices(); ++i) {
+      report.Result(
+          "device_" + std::to_string(i),
+          {{"grants", static_cast<double>(pool.device_grants(i))},
+           {"busy_us", busy[i]},
+           {"util_share", busy_sum > 0 ? busy[i] / busy_sum : 0.0}});
+    }
+  }
   report.Result("jobs_accounted",
                 {{"completed", static_cast<double>(completed)},
                  {"failed", static_cast<double>(failed)},
@@ -283,6 +390,15 @@ int Run(const Options& opt) {
   report.ResultDouble("wall_seconds", wall_seconds);
   report.ResultDouble("jobs_per_sec",
                       wall_seconds > 0 ? opt.jobs / wall_seconds : 0.0);
+  if (opt.deterministic) {
+    // Model-time throughput: the virtual makespan is what a real device
+    // pool would deliver — it shrinks with --fpga_devices even when the
+    // simulator itself is squeezed onto a single host core.
+    const double makespan = scheduler.virtual_makespan_seconds();
+    report.ResultDouble("virtual_makespan_seconds", makespan);
+    report.ResultDouble("virtual_jobs_per_sec",
+                        makespan > 0 ? opt.jobs / makespan : 0.0);
+  }
   report.ResultUInt("determinism_hash", determinism_hash);
   report.Print();
 
@@ -332,6 +448,18 @@ int main(int argc, char** argv) {
       opt.clients = std::strtoull(v.c_str(), nullptr, 10);
     } else if (fpart::ParseFlag(argc, argv, &i, "--workers", &v)) {
       opt.workers = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--fpga_devices", &v)) {
+      opt.fpga_devices = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--classes", &v)) {
+      char* cursor = v.data();
+      for (size_t c = 0; c < fpart::svc::kNumJobClasses; ++c) {
+        opt.class_weights[c] = std::strtod(cursor, &cursor);
+        if (*cursor == ',') ++cursor;
+        if (opt.class_weights[c] <= 0.0) {
+          std::fprintf(stderr, "--classes needs 3 positive weights\n");
+          return 2;
+        }
+      }
     } else if (fpart::ParseFlag(argc, argv, &i, "--seed", &v)) {
       opt.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (fpart::ParseFlag(argc, argv, &i, "--rate", &v)) {
@@ -342,6 +470,20 @@ int main(int argc, char** argv) {
       opt.deterministic = std::strtoull(v.c_str(), nullptr, 10) != 0;
     } else if (fpart::ParseFlag(argc, argv, &i, "--join-every", &v)) {
       opt.join_every = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (fpart::ParseFlag(argc, argv, &i, "--policy", &v)) {
+      if (v == "adaptive") {
+        opt.policy = fpart::svc::PlacementPolicy::kAdaptive;
+      } else if (v == "cpu") {
+        opt.policy = fpart::svc::PlacementPolicy::kCpuOnly;
+      } else if (v == "fpga") {
+        opt.policy = fpart::svc::PlacementPolicy::kFpgaOnly;
+      } else if (v == "round-robin") {
+        opt.policy = fpart::svc::PlacementPolicy::kRoundRobin;
+      } else {
+        std::fprintf(stderr,
+                     "--policy must be adaptive|cpu|fpga|round-robin\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -351,6 +493,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--jobs and --clients must be positive\n");
     return 2;
   }
+  if (opt.fpga_devices == 0) opt.fpga_devices = 1;
   if (opt.rate <= 0) opt.rate = 5000.0;
   (void)json;  // the report is always JSON; --json kept for script parity
   return fpart::Run(opt);

@@ -5,13 +5,14 @@
 # The document is a single fpart.obs.v1 envelope (docs/observability.md)
 # with tail latency percentiles, the placement mix, and the svc.* metric
 # snapshot; flatten with scripts/bench_to_csv.py.
-# Usage: scripts/bench_service.sh [build_dir] [jobs] [clients]
+# Usage: scripts/bench_service.sh [build_dir] [jobs] [clients] [devices]
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 jobs=${2:-10000}
 clients=${3:-8}
+devices=${4:-1}
 
 if [ ! -x "$build_dir/bench/ext_service" ]; then
   echo "building ext_service in $build_dir ..." >&2
@@ -21,6 +22,6 @@ fi
 
 out="$repo_root/BENCH_service.json"
 "$build_dir/bench/ext_service" --json --jobs "$jobs" --clients "$clients" \
-  > "$out.tmp"
+  --fpga_devices "$devices" > "$out.tmp"
 mv "$out.tmp" "$out"
 cat "$out"

@@ -37,12 +37,27 @@ CASES = {
     "ext_join_algorithms": (["--json"],
                             ["join.radix.runs", "join.matches",
                              "cpu.partition.runs"]),
-    "ext_service": (["--json", "--jobs", "2000", "--clients", "4"],
+    "ext_service": (["--json", "--jobs", "2000", "--clients", "4",
+                     "--fpga_devices", "2", "--classes", "8,3,1"],
                     ["svc.jobs.submitted", "svc.jobs.completed",
                      "svc.placed.cpu", "svc.placed.fpga",
                      "svc.job.queue_us", "svc.job.total_us",
-                     "svc.fpga.lease_wait_us"]),
+                     "svc.fpga.lease_wait_us",
+                     "svc.device.0.grants", "svc.device.0.busy_us",
+                     "svc.device.1.grants", "svc.device.1.busy_us",
+                     "svc.class.interactive.submitted",
+                     "svc.class.interactive.completed",
+                     "svc.class.interactive.total_us",
+                     "svc.class.batch.completed",
+                     "svc.class.besteffort.completed"]),
 }
+
+# Result-object keys ext_service must report per priority class and per
+# device (the per-class latency percentiles and the utilization mix).
+EXT_SERVICE_RESULT_KEYS = [
+    "class_interactive", "class_batch", "class_besteffort",
+    "device_0", "device_1",
+]
 
 HISTOGRAM_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p99"]
 
@@ -78,6 +93,17 @@ def validate(name: str, doc: dict, expected_metrics) -> None:
         if mname not in metrics:
             fail(f"{name}: documented metric '{mname}' missing "
                  f"(have: {sorted(metrics)})")
+    if name == "ext_service":
+        for rkey in EXT_SERVICE_RESULT_KEYS:
+            if rkey not in doc["results"]:
+                fail(f"{name}: result object '{rkey}' missing "
+                     f"(have: {sorted(doc['results'])})")
+        for cls in ("interactive", "batch", "besteffort"):
+            obj = doc["results"][f"class_{cls}"]
+            for field in ("count", "p50_us", "p95_us", "p99_us",
+                          "weight_share"):
+                if field not in obj:
+                    fail(f"{name}: class_{cls} lacks '{field}'")
 
 
 def main() -> int:

@@ -1,8 +1,46 @@
 #include "svc/fpga_arbiter.h"
 
+#include <string>
+
+#include "obs/metrics.h"
+
 namespace fpart::svc {
 
-Status FpgaArbiter::Acquire(JobRecord* rec) {
+DevicePool::DevicePool(size_t num_devices) {
+  devices_.resize(num_devices == 0 ? 1 : num_devices);
+  auto& reg = obs::Registry::Global();
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    const std::string prefix = "svc.device." + std::to_string(i);
+    devices_[i].grants_metric = reg.GetCounter(
+        prefix + ".grants", "grants", "lease grants on this device");
+    devices_[i].busy_us_metric = reg.GetCounter(
+        prefix + ".busy_us", "us", "wall time jobs held this device lease");
+    devices_[i].backlog_metric =
+        reg.GetGauge(prefix + ".backlog_seconds", "s",
+                     "placed-but-unfinished model time on this device");
+  }
+}
+
+int DevicePool::PickFreeDeviceLocked(const JobRecord* rec) const {
+  int best = -1;
+  double best_backlog = 0.0;
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].holder != nullptr) continue;
+    double backlog = devices_[i].backlog_seconds;
+    // The job's own placement charge sits on charged_device; discount it
+    // so the charge does not repel the job from its predicted device.
+    if (rec != nullptr && rec->charged_device == static_cast<int>(i)) {
+      backlog -= rec->placed_estimate_seconds;
+    }
+    if (best < 0 || backlog < best_backlog) {
+      best = static_cast<int>(i);
+      best_backlog = backlog;
+    }
+  }
+  return best;
+}
+
+Status DevicePool::Acquire(JobRecord* rec) {
   const WaitKey key{rec->deadline_key, rec->seq};
   std::unique_lock<std::mutex> lock(mu_);
   waiters_.insert(key);
@@ -16,48 +54,110 @@ Status FpgaArbiter::Acquire(JobRecord* rec) {
       return Status::Cancelled("job " + std::to_string(rec->id) +
                                " cancelled while waiting for FPGA lease");
     }
-    if (holder_ == nullptr && *waiters_.begin() == key) {
+    if (held_ < devices_.size() && *waiters_.begin() == key) {
+      const int dev = PickFreeDeviceLocked(rec);
       waiters_.erase(key);
-      holder_ = rec;
-      ++grants_;
+      devices_[dev].holder = rec;
+      ++devices_[dev].grants;
+      devices_[dev].grants_metric->Add();
+      ++held_;
+      rec->device = dev;
+      // Another device may still be free: let the next-best waiter in.
+      cv_.notify_all();
       return Status::OK();
     }
     cv_.wait(lock);
   }
 }
 
-void FpgaArbiter::Release(JobRecord* rec) {
+void DevicePool::Release(JobRecord* rec) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (holder_ == rec) holder_ = nullptr;
+    const int dev = rec->device;
+    if (dev >= 0 && dev < static_cast<int>(devices_.size()) &&
+        devices_[dev].holder == rec) {
+      devices_[dev].holder = nullptr;
+      --held_;
+      rec->device = -1;
+    }
   }
   cv_.notify_all();
 }
 
-void FpgaArbiter::NotifyCancelled() { cv_.notify_all(); }
+void DevicePool::NotifyCancelled() { cv_.notify_all(); }
 
-void FpgaArbiter::AddBacklog(double est_seconds) {
+int DevicePool::ChargeLeastLoaded(double est_seconds) {
   std::unique_lock<std::mutex> lock(mu_);
-  backlog_seconds_ += est_seconds;
+  size_t best = 0;
+  for (size_t i = 1; i < devices_.size(); ++i) {
+    if (devices_[i].backlog_seconds < devices_[best].backlog_seconds) {
+      best = i;
+    }
+  }
+  devices_[best].backlog_seconds += est_seconds;
+  devices_[best].backlog_metric->Set(devices_[best].backlog_seconds);
+  return static_cast<int>(best);
 }
 
-void FpgaArbiter::SubBacklog(double est_seconds) {
+void DevicePool::Credit(int device, double est_seconds) {
+  if (device < 0) return;
   std::unique_lock<std::mutex> lock(mu_);
-  backlog_seconds_ -= est_seconds;
-  if (backlog_seconds_ < 0.0) backlog_seconds_ = 0.0;
+  if (device >= static_cast<int>(devices_.size())) return;
+  Device& d = devices_[device];
+  d.backlog_seconds -= est_seconds;
+  if (d.backlog_seconds < 0.0) d.backlog_seconds = 0.0;
+  d.backlog_metric->Set(d.backlog_seconds);
 }
 
-double FpgaArbiter::backlog_seconds() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  return backlog_seconds_;
+void DevicePool::RecordBusy(int device, double wall_seconds) {
+  if (device < 0 || device >= static_cast<int>(devices_.size())) return;
+  if (wall_seconds <= 0.0) return;
+  devices_[device].busy_us_metric->Add(
+      static_cast<uint64_t>(wall_seconds * 1e6));
 }
 
-uint64_t FpgaArbiter::grants() const {
+double DevicePool::backlog_seconds() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return grants_;
+  double min = devices_[0].backlog_seconds;
+  for (const Device& d : devices_) {
+    if (d.backlog_seconds < min) min = d.backlog_seconds;
+  }
+  return min;
 }
 
-size_t FpgaArbiter::waiters() const {
+double DevicePool::total_backlog_seconds() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  double sum = 0.0;
+  for (const Device& d : devices_) sum += d.backlog_seconds;
+  return sum;
+}
+
+double DevicePool::device_backlog_seconds(size_t device) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return device < devices_.size() ? devices_[device].backlog_seconds : 0.0;
+}
+
+void DevicePool::SnapshotBacklogs(std::vector<double>* out) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  out->resize(devices_.size());
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    (*out)[i] = devices_[i].backlog_seconds;
+  }
+}
+
+uint64_t DevicePool::grants() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const Device& d : devices_) sum += d.grants;
+  return sum;
+}
+
+uint64_t DevicePool::device_grants(size_t device) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return device < devices_.size() ? devices_[device].grants : 0;
+}
+
+size_t DevicePool::waiters() const {
   std::unique_lock<std::mutex> lock(mu_);
   return waiters_.size();
 }

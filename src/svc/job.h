@@ -48,8 +48,20 @@ enum class Backend {
   kHybrid,
 };
 
+/// \brief Priority class of a job (weighted fair queueing, job_queue.h).
+/// Interactive tenants outweigh batch, batch outweighs best-effort; the
+/// scheduler's class weights decide the exact service shares.
+enum class JobClass {
+  kInteractive = 0,
+  kBatch = 1,
+  kBestEffort = 2,
+};
+
+inline constexpr size_t kNumJobClasses = 3;
+
 const char* JobKindName(JobKind kind);
 const char* BackendName(Backend backend);
+const char* JobClassName(JobClass cls);
 
 /// Terminal state of a job.
 enum class JobState {
@@ -97,6 +109,10 @@ struct JobOptions {
   /// Pin the job to one backend (skips the placement policy). Used by the
   /// interference bench and by clients that know better.
   std::optional<Backend> pinned;
+  /// Priority class for weighted fair queueing. Classes split the live-mode
+  /// service capacity in proportion to SchedulerConfig::class_weights;
+  /// within a class, jobs still run earliest-deadline-first then FIFO.
+  JobClass job_class = JobClass::kBatch;
   /// Deterministic mode only: the caller-assigned arrival sequence number.
   /// Clients must hand the scheduler a contiguous 0..N-1 numbering (any
   /// submission interleaving); placement is computed strictly in this
@@ -134,6 +150,17 @@ struct JobRecord {
   PartitionJobSpec partition;
   JoinJobSpec join;
   JobOptions opts;
+
+  /// Priority class (copied from opts at submission; queue ordering key).
+  JobClass cls = JobClass::kBatch;
+  /// Service demand the weighted-fair queue charges this job: input tuples
+  /// (partition) or r+s tuples (join), never below 1.
+  double wfq_cost = 1.0;
+  /// Device index granted by the DevicePool (-1 before/without a grant).
+  int device = -1;
+  /// Device whose backlog clock was charged at placement (-1 for CPU
+  /// placements and in deterministic mode, where virtual clocks rule).
+  int charged_device = -1;
 
   /// Cooperative cancellation token; the executor wires it into the
   /// backend configs (checked at phase boundaries).

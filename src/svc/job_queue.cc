@@ -1,9 +1,30 @@
 #include "svc/job_queue.h"
 
-namespace fpart::svc {
+#include <algorithm>
 
-JobQueue::JobQueue(size_t capacity, bool strict_seq)
-    : capacity_(capacity == 0 ? 1 : capacity), strict_seq_(strict_seq) {}
+namespace fpart::svc {
+namespace {
+
+/// Weights below this are clamped up: a zero weight would stall the class
+/// forever (infinite virtual finish time), which is starvation by
+/// configuration — WFQ promises every class forward progress.
+constexpr double kMinWeight = 1e-9;
+
+}  // namespace
+
+JobQueue::JobQueue(size_t capacity, bool strict_seq,
+                   const std::array<double, kNumJobClasses>& weights)
+    : capacity_(capacity == 0 ? 1 : capacity), strict_seq_(strict_seq) {
+  for (size_t c = 0; c < kNumJobClasses; ++c) {
+    weights_[c] = std::max(weights[c], kMinWeight);
+  }
+}
+
+size_t JobQueue::LiveDepthLocked() const {
+  size_t depth = 0;
+  for (const auto& q : by_class_) depth += q.size();
+  return depth;
+}
 
 Status JobQueue::Push(std::shared_ptr<JobRecord> rec) {
   {
@@ -11,7 +32,7 @@ Status JobQueue::Push(std::shared_ptr<JobRecord> rec) {
     if (closed_) {
       return Status::InvalidArgument("job queue is closed");
     }
-    const size_t depth = strict_seq_ ? by_seq_.size() : by_deadline_.size();
+    const size_t depth = strict_seq_ ? by_seq_.size() : LiveDepthLocked();
     if (depth >= capacity_) {
       ++shed_;
       if (strict_seq_) {
@@ -27,8 +48,14 @@ Status JobQueue::Push(std::shared_ptr<JobRecord> rec) {
     if (strict_seq_) {
       by_seq_.emplace(rec->seq, std::move(rec));
     } else {
-      by_deadline_.emplace(OrderKey{rec->deadline_key, rec->seq},
-                           std::move(rec));
+      const size_t cls = static_cast<size_t>(rec->cls);
+      if (by_class_[cls].empty()) {
+        // The class becomes backlogged: stamp its virtual start at the
+        // current service point. Idle classes accumulate no credit.
+        class_start_[cls] = std::max(class_vf_[cls], vtime_);
+      }
+      by_class_[cls].emplace(OrderKey{rec->deadline_key, rec->seq},
+                             std::move(rec));
     }
   }
   cv_.notify_all();
@@ -49,6 +76,9 @@ std::shared_ptr<JobRecord> JobQueue::Pop() {
         auto rec = std::move(it->second);
         by_seq_.erase(it);
         ++next_seq_;
+        const size_t cls = static_cast<size_t>(rec->cls);
+        served_cost_[cls] += rec->wfq_cost;
+        ++popped_[cls];
         return rec;
       }
       if (closed_) {
@@ -60,10 +90,36 @@ std::shared_ptr<JobRecord> JobQueue::Pop() {
         continue;
       }
     } else {
-      if (!by_deadline_.empty()) {
-        auto it = by_deadline_.begin();
+      // Weighted fair queueing: serve the class whose head job finishes
+      // earliest on the virtual clock, F = stamped start + cost / weight.
+      // Ties go to the higher-priority (lower-numbered) class.
+      size_t best = kNumJobClasses;
+      double best_fin = 0.0;
+      bool contended = true;
+      for (size_t c = 0; c < kNumJobClasses; ++c) {
+        if (by_class_[c].empty()) {
+          contended = false;
+          continue;
+        }
+        const JobRecord& head = *by_class_[c].begin()->second;
+        const double fin = class_start_[c] + head.wfq_cost / weights_[c];
+        if (best == kNumJobClasses || fin < best_fin) {
+          best = c;
+          best_fin = fin;
+        }
+      }
+      if (best != kNumJobClasses) {
+        auto it = by_class_[best].begin();
         auto rec = std::move(it->second);
-        by_deadline_.erase(it);
+        by_class_[best].erase(it);
+        // Self-clock: virtual time is the served job's finish tag; the
+        // class's next head starts where this job finished.
+        vtime_ = best_fin;
+        class_vf_[best] = best_fin;
+        class_start_[best] = best_fin;
+        served_cost_[best] += rec->wfq_cost;
+        if (contended) contended_cost_[best] += rec->wfq_cost;
+        ++popped_[best];
         return rec;
       }
       if (closed_) return nullptr;
@@ -82,7 +138,7 @@ void JobQueue::Close() {
 
 size_t JobQueue::depth() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return strict_seq_ ? by_seq_.size() : by_deadline_.size();
+  return strict_seq_ ? by_seq_.size() : LiveDepthLocked();
 }
 
 uint64_t JobQueue::pushed() const {
@@ -93,6 +149,25 @@ uint64_t JobQueue::pushed() const {
 uint64_t JobQueue::shed() const {
   std::unique_lock<std::mutex> lock(mu_);
   return shed_;
+}
+
+double JobQueue::served_cost(JobClass cls) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return served_cost_[static_cast<size_t>(cls)];
+}
+
+double JobQueue::contended_cost(JobClass cls) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return contended_cost_[static_cast<size_t>(cls)];
+}
+
+uint64_t JobQueue::popped(JobClass cls) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return popped_[static_cast<size_t>(cls)];
+}
+
+double JobQueue::weight(JobClass cls) const {
+  return weights_[static_cast<size_t>(cls)];
 }
 
 }  // namespace fpart::svc

@@ -17,9 +17,8 @@ PlacementDecision DecidePartition(const PlacementInput& in) {
   d.device_seconds = d.est_fpga_seconds;
   d.est_cpu_seconds =
       CpuCostModel::PartitionSeconds(in.n_tuples, in.cpu_threads, in.hash);
-  d.fpga_latency_seconds = fpga.PredictLatencySeconds(
-      in.n_tuples, in.mode, in.layout, in.link, in.fpga_backlog_seconds,
-      in.interference);
+  d.fpga_latency_seconds =
+      EffectiveFpgaBacklogSeconds(in) + d.est_fpga_seconds;
   d.cpu_latency_seconds = in.cpu_backlog_seconds + d.est_cpu_seconds;
   return d;
 }
@@ -42,14 +41,33 @@ PlacementDecision DecideJoin(const PlacementInput& in) {
       in.r_tuples, in.s_tuples, in.fanout, in.cpu_threads, in.hash);
   // The hybrid join is gated on the device from the start (partitioning is
   // its first phase), so the whole path waits out the device backlog.
-  d.fpga_latency_seconds = in.fpga_backlog_seconds + d.est_fpga_seconds;
+  d.fpga_latency_seconds = EffectiveFpgaBacklogSeconds(in) + d.est_fpga_seconds;
   d.cpu_latency_seconds = in.cpu_backlog_seconds + d.est_cpu_seconds;
   return d;
 }
 
 }  // namespace
 
+double EffectiveFpgaBacklogSeconds(const PlacementInput& in) {
+  if (in.device_backlogs == nullptr || in.fpga_devices == 0) {
+    return in.fpga_backlog_seconds;
+  }
+  double min = in.device_backlogs[0];
+  for (size_t i = 1; i < in.fpga_devices; ++i) {
+    if (in.device_backlogs[i] < min) min = in.device_backlogs[i];
+  }
+  return min;
+}
+
 PlacementDecision DecidePlacement(const PlacementInput& in) {
+  // Empty jobs never earn a device lease (see placement.h).
+  if (in.n_tuples + in.r_tuples + in.s_tuples == 0) {
+    PlacementDecision d;
+    d.backend = Backend::kCpu;
+    d.cpu_latency_seconds = in.cpu_backlog_seconds;
+    d.fpga_latency_seconds = EffectiveFpgaBacklogSeconds(in);
+    return d;
+  }
   PlacementDecision d = in.kind == JobKind::kPartition ? DecidePartition(in)
                                                        : DecideJoin(in);
   const Backend device_backend =

@@ -44,11 +44,23 @@ struct PlacementInput {
   size_t cpu_threads = 1;
 
   /// Queueing state: model seconds of placed-but-unfinished work per
-  /// backend (live mode: arbiter/scheduler backlog; deterministic mode:
-  /// virtual clocks minus the job's virtual arrival time).
+  /// backend (live mode: device-pool/scheduler backlog; deterministic
+  /// mode: virtual clocks minus the job's virtual arrival time).
+  ///
+  /// Multi-FPGA pools hand the per-device backlog clocks in through
+  /// `device_backlogs`/`fpga_devices`; the policy queues the job on the
+  /// least-backlogged device, so the effective FPGA queueing delay is the
+  /// pool minimum. When `device_backlogs` is null the scalar
+  /// `fpga_backlog_seconds` is used (single-device compatibility form).
+  const double* device_backlogs = nullptr;
+  size_t fpga_devices = 1;
   double fpga_backlog_seconds = 0.0;
   double cpu_backlog_seconds = 0.0;
 };
+
+/// The FPGA queueing delay DecidePlacement charges: min over the
+/// per-device backlog clocks, or the scalar fallback.
+double EffectiveFpgaBacklogSeconds(const PlacementInput& in);
 
 /// The policy's verdict plus the estimates that produced it (the scheduler
 /// records them for backlog accounting and observability).
@@ -73,6 +85,10 @@ struct PlacementDecision {
 /// is nominally slower (it frees the host cores).
 inline constexpr double kPlacementTieEpsilon = 0.05;
 
+/// Zero-tuple jobs (empty relations on both sides) run on the CPU with
+/// zero estimates: there is nothing to stream, so a device lease
+/// round-trip is pure overhead — and the cost model's rate equations are
+/// undefined at n = 0.
 PlacementDecision DecidePlacement(const PlacementInput& in);
 
 }  // namespace fpart::svc

@@ -47,6 +47,10 @@ struct SvcMetrics {
   obs::Gauge* queue_depth;
   obs::Gauge* fpga_backlog;
   obs::Gauge* cpu_backlog;
+  obs::Counter* class_submitted[kNumJobClasses];
+  obs::Counter* class_completed[kNumJobClasses];
+  obs::Counter* class_served_cost[kNumJobClasses];
+  obs::Histogram* class_total_us[kNumJobClasses];
 };
 
 SvcMetrics& Metrics() {
@@ -91,6 +95,19 @@ SvcMetrics& Metrics() {
                                   "placed-but-unfinished device model time");
     x.cpu_backlog = reg.GetGauge("svc.cpu.backlog_seconds", "s",
                                  "placed-but-unfinished CPU model time");
+    for (size_t c = 0; c < kNumJobClasses; ++c) {
+      const std::string prefix =
+          std::string("svc.class.") + JobClassName(static_cast<JobClass>(c));
+      x.class_submitted[c] = reg.GetCounter(
+          prefix + ".submitted", "jobs", "jobs admitted in this class");
+      x.class_completed[c] = reg.GetCounter(
+          prefix + ".completed", "jobs", "jobs finished in this class");
+      x.class_served_cost[c] = reg.GetCounter(
+          prefix + ".served_cost", "tuples",
+          "WFQ cost (tuples) dispatched from this class");
+      x.class_total_us[c] = reg.GetHistogram(
+          prefix + ".total_us", "us", "submit -> completion in this class");
+    }
     return x;
   }();
   return m;
@@ -121,6 +138,18 @@ const char* BackendName(Backend backend) {
       return "fpga";
     case Backend::kHybrid:
       return "hybrid";
+  }
+  return "unknown";
+}
+
+const char* JobClassName(JobClass cls) {
+  switch (cls) {
+    case JobClass::kInteractive:
+      return "interactive";
+    case JobClass::kBatch:
+      return "batch";
+    case JobClass::kBestEffort:
+      return "besteffort";
   }
   return "unknown";
 }
@@ -159,11 +188,15 @@ const char* PlacementPolicyName(PlacementPolicy policy) {
 
 Scheduler::Scheduler(SchedulerConfig config)
     : config_(std::move(config)),
-      queue_(config_.queue_capacity, config_.deterministic),
+      queue_(config_.queue_capacity, config_.deterministic,
+             config_.class_weights),
+      pool_(config_.fpga_devices),
       epoch_(std::chrono::steady_clock::now()),
       paused_(config_.start_paused) {
   if (config_.num_workers == 0) config_.num_workers = 1;
   if (config_.cpu_threads_per_job == 0) config_.cpu_threads_per_job = 1;
+  config_.fpga_devices = pool_.num_devices();  // 0 clamps to 1
+  virt_device_free_.assign(pool_.num_devices(), 0.0);
   virt_worker_free_.assign(config_.num_workers, 0.0);
   if (config_.cpu_threads_per_job > 1) {
     worker_pools_.resize(config_.num_workers);
@@ -181,6 +214,15 @@ Scheduler::Scheduler(SchedulerConfig config)
 }
 
 Scheduler::~Scheduler() { Shutdown(); }
+
+double Scheduler::virtual_makespan_seconds() const {
+  // virt_*_free_ are dispatcher-only; callers read them after Shutdown()
+  // joined the dispatcher, which orders these loads after its last write.
+  double makespan = 0.0;
+  for (double t : virt_device_free_) makespan = std::max(makespan, t);
+  for (double t : virt_worker_free_) makespan = std::max(makespan, t);
+  return makespan;
+}
 
 double Scheduler::NowSeconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -225,6 +267,12 @@ Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
   rec->seq = rec->opts.arrival_seq != kAutoArrivalSeq
                  ? rec->opts.arrival_seq
                  : next_seq_.fetch_add(1, std::memory_order_relaxed);
+  rec->cls = rec->opts.job_class;
+  const uint64_t demand_tuples =
+      rec->kind == JobKind::kPartition
+          ? rec->partition.input->size()
+          : rec->join.r->size() + rec->join.s->size();
+  rec->wfq_cost = std::max(1.0, static_cast<double>(demand_tuples));
   rec->submit_seconds = NowSeconds();
   if (rec->opts.deadline_seconds > 0.0) {
     rec->deadline_key = rec->submit_seconds + rec->opts.deadline_seconds;
@@ -242,6 +290,7 @@ Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Metrics().submitted->Add();
+  Metrics().class_submitted[static_cast<size_t>(rec->cls)]->Add();
   Metrics().queue_depth->Set(static_cast<double>(queue_.depth()));
   return handle;
 }
@@ -256,7 +305,7 @@ void Scheduler::Resume() {
 
 void Scheduler::Cancel(const JobHandle& handle) {
   handle.Cancel();
-  arbiter_.NotifyCancelled();
+  pool_.NotifyCancelled();
 }
 
 void Scheduler::Shutdown() {
@@ -303,15 +352,25 @@ void Scheduler::PlaceJob(JobRecord* rec) {
                                ? rec->opts.virtual_arrival_seconds
                                : rec->submit_seconds;
   size_t virt_worker = 0;
+  size_t virt_device = 0;
   if (config_.deterministic) {
     virt_worker = static_cast<size_t>(
         std::min_element(virt_worker_free_.begin(), virt_worker_free_.end()) -
         virt_worker_free_.begin());
-    in.fpga_backlog_seconds = std::max(0.0, virt_fpga_free_ - t_arrival);
+    // A device job queues on the least-loaded virtual device clock.
+    virt_device = static_cast<size_t>(
+        std::min_element(virt_device_free_.begin(), virt_device_free_.end()) -
+        virt_device_free_.begin());
+    in.fpga_devices = virt_device_free_.size();
+    in.fpga_backlog_seconds =
+        std::max(0.0, virt_device_free_[virt_device] - t_arrival);
     in.cpu_backlog_seconds =
         std::max(0.0, virt_worker_free_[virt_worker] - t_arrival);
   } else {
-    in.fpga_backlog_seconds = arbiter_.backlog_seconds();
+    pool_.SnapshotBacklogs(&backlog_scratch_);
+    in.device_backlogs = backlog_scratch_.data();
+    in.fpga_devices = backlog_scratch_.size();
+    in.fpga_backlog_seconds = pool_.backlog_seconds();
     std::unique_lock<std::mutex> lock(ready_mu_);
     in.cpu_backlog_seconds =
         cpu_backlog_seconds_ / static_cast<double>(config_.num_workers);
@@ -354,11 +413,12 @@ void Scheduler::PlaceJob(JobRecord* rec) {
           std::max(t_arrival, virt_worker_free_[virt_worker]);
       virt_worker_free_[virt_worker] = start + d.est_cpu_seconds;
     } else {
-      // Device jobs hold a worker for the whole run and the device for the
-      // lease phase; the device clock gates the start.
-      const double start = std::max(
-          {t_arrival, virt_fpga_free_, virt_worker_free_[virt_worker]});
-      virt_fpga_free_ = start + d.device_seconds;
+      // Device jobs hold a worker for the whole run and their device for
+      // the lease phase; the chosen device's clock gates the start.
+      const double start =
+          std::max({t_arrival, virt_device_free_[virt_device],
+                    virt_worker_free_[virt_worker]});
+      virt_device_free_[virt_device] = start + d.device_seconds;
       virt_worker_free_[virt_worker] = start + d.est_fpga_seconds;
     }
   } else if (backend == Backend::kCpu) {
@@ -366,8 +426,8 @@ void Scheduler::PlaceJob(JobRecord* rec) {
     cpu_backlog_seconds_ += d.est_cpu_seconds;
     Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
   } else {
-    arbiter_.AddBacklog(d.device_seconds);
-    Metrics().fpga_backlog->Set(arbiter_.backlog_seconds());
+    rec->charged_device = pool_.ChargeLeastLoaded(d.device_seconds);
+    Metrics().fpga_backlog->Set(pool_.backlog_seconds());
   }
 
   auto& m = Metrics();
@@ -398,6 +458,8 @@ void Scheduler::DispatcherLoop() {
     std::shared_ptr<JobRecord> rec = queue_.Pop();
     Metrics().queue_depth->Set(static_cast<double>(queue_.depth()));
     if (rec == nullptr) break;  // closed and drained
+    Metrics().class_served_cost[static_cast<size_t>(rec->cls)]->Add(
+        static_cast<uint64_t>(rec->wfq_cost));
     PlaceJob(rec.get());
     {
       std::unique_lock<std::mutex> lock(ready_mu_);
@@ -474,8 +536,8 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
           std::max(0.0, cpu_backlog_seconds_ - rec->placed_estimate_seconds);
       Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
     } else {
-      arbiter_.SubBacklog(rec->placed_estimate_seconds);
-      Metrics().fpga_backlog->Set(arbiter_.backlog_seconds());
+      pool_.Credit(rec->charged_device, rec->placed_estimate_seconds);
+      Metrics().fpga_backlog->Set(pool_.backlog_seconds());
     }
   }
 
@@ -514,9 +576,10 @@ Status Scheduler::RunPartitionJob(JobRecord* rec, size_t worker,
     return Status::OK();
   }
 
-  // FPGA placement: exclusive device lease first.
+  // FPGA placement: one exclusive device lease from the pool first.
   const double wait0 = NowSeconds();
-  FPART_RETURN_NOT_OK(arbiter_.Acquire(rec));
+  FPART_RETURN_NOT_OK(pool_.Acquire(rec));
+  const int device = rec->device;
   const double lease0 = NowSeconds();
   m.lease_wait_us->Record(ToMicros(lease0 - wait0));
 
@@ -526,8 +589,14 @@ Status Scheduler::RunPartitionJob(JobRecord* rec, size_t worker,
     req.interference = Interference::kInterfered;
   }
   auto result = RunPartition<Tuple8>(req, *rec->partition.input);
-  arbiter_.Release(rec);
-  m.fpga_busy_us->Add(ToMicros(NowSeconds() - lease0));
+  // Stamp before Release: once the lease is handed on, this thread may be
+  // descheduled for a while and a late stamp would overlap the next
+  // holder's window (busy_us must never exceed wall time per device).
+  const double lease_end = NowSeconds();
+  pool_.Release(rec);
+  const double lease_seconds = lease_end - lease0;
+  m.fpga_busy_us->Add(ToMicros(lease_seconds));
+  pool_.RecordBusy(device, lease_seconds);
   FPART_RETURN_NOT_OK(result.status());
   const auto& report = result.ValueOrDie();
   out->device_seconds = report.seconds;
@@ -578,7 +647,8 @@ Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {
   }
 
   const double wait0 = NowSeconds();
-  FPART_RETURN_NOT_OK(arbiter_.Acquire(rec));
+  FPART_RETURN_NOT_OK(pool_.Acquire(rec));
+  const int device_index = rec->device;
   const double lease0 = NowSeconds();
   m.lease_wait_us->Record(ToMicros(lease0 - wait0));
 
@@ -593,8 +663,11 @@ Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {
     return std::make_pair(std::move(pr), std::move(ps));
   };
   auto device = run_device();
-  arbiter_.Release(rec);
-  m.fpga_busy_us->Add(ToMicros(NowSeconds() - lease0));
+  const double lease_end = NowSeconds();  // before Release; see partition path
+  pool_.Release(rec);
+  const double lease_seconds = lease_end - lease0;
+  m.fpga_busy_us->Add(ToMicros(lease_seconds));
+  pool_.RecordBusy(device_index, lease_seconds);
   FPART_RETURN_NOT_OK(device.status());
   auto& [pr, ps] = device.ValueOrDie();
   out->device_seconds = pr.seconds + ps.seconds;
@@ -624,6 +697,9 @@ void Scheduler::CompleteJob(const std::shared_ptr<JobRecord>& rec,
   switch (state) {
     case JobState::kCompleted:
       m.completed->Add();
+      m.class_completed[static_cast<size_t>(rec->cls)]->Add();
+      m.class_total_us[static_cast<size_t>(rec->cls)]->Record(
+          ToMicros(outcome.queue_seconds + outcome.run_seconds));
       break;
     case JobState::kFailed:
       m.failed->Add();

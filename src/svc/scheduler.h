@@ -4,18 +4,19 @@
 //   clients ── Submit ──▶ JobQueue ── dispatcher ──▶ ready deque ──▶ workers
 //                (admission)    (placement)                  (execution)
 //
-// One dispatcher thread pops admitted jobs in queue order, decides the
+// One dispatcher thread pops admitted jobs in queue order (live mode:
+// weighted fair queueing over priority classes, job_queue.h), decides the
 // backend with DecidePlacement (cost model + live backlog), and hands the
 // job to one of `num_workers` named worker threads. FPGA and hybrid jobs
-// additionally acquire the exclusive device lease from the FpgaArbiter
-// before touching the simulator, so the single shared FPGA is never run
-// by two jobs at once — which is exactly why CPU fallback under device
-// backlog matters.
+// additionally acquire one exclusive device lease from the DevicePool
+// (`fpga_devices` simulated FPGAs) before touching the simulator, so no
+// device is ever run by two jobs at once — which is exactly why CPU
+// fallback under device backlog matters.
 //
 // Two clocks:
-//  * live mode — wall time; backlog doubles are kept by the arbiter (FPGA)
-//    and the scheduler (CPU) in model seconds, added at placement and
-//    subtracted at completion.
+//  * live mode — wall time; backlog doubles are kept per device by the
+//    pool (FPGA) and by the scheduler (CPU) in model seconds, added at
+//    placement and subtracted at completion.
 //  * deterministic mode — virtual time: clients assign each job a
 //    contiguous arrival_seq and a virtual arrival timestamp; the
 //    dispatcher processes strictly in sequence order and advances
@@ -24,6 +25,7 @@
 //    matter how client threads interleave.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -67,6 +69,14 @@ struct SchedulerConfig {
   /// CPU threads a single job's partition/build+probe phases may use
   /// (1 = run inline on the worker; >1 = per-worker pool).
   size_t cpu_threads_per_job = 1;
+  /// Simulated FPGA devices in the pool (0 is clamped to 1). Device jobs
+  /// take exactly one lease; grants go to the least-backlogged free
+  /// device.
+  size_t fpga_devices = 1;
+  /// Weighted-fair-queueing weights per priority class
+  /// (interactive/batch/best-effort). Live mode only; deterministic
+  /// replays dispatch in strict arrival order.
+  std::array<double, kNumJobClasses> class_weights = kDefaultClassWeights;
   PlacementPolicy policy = PlacementPolicy::kAdaptive;
   /// Deterministic replay mode (strict arrival-seq dispatch + virtual
   /// clocks). See the file comment.
@@ -113,13 +123,28 @@ class Scheduler {
   void Shutdown();
 
   size_t queue_depth() const { return queue_.depth(); }
-  double fpga_backlog_seconds() const { return arbiter_.backlog_seconds(); }
+  /// Least-backlogged device's clock (the delay a new device job sees).
+  double fpga_backlog_seconds() const { return pool_.backlog_seconds(); }
+  /// Deterministic mode: the virtual-clock makespan of the replayed
+  /// stream (latest device/worker virtual free time). This is the model's
+  /// completion time — the quantity that shrinks as `fpga_devices` grows,
+  /// independent of how many host cores the simulator itself gets. Only
+  /// meaningful after Shutdown() has drained the stream; 0.0 in live mode.
+  double virtual_makespan_seconds() const;
   double cpu_backlog_seconds() const;
   uint64_t jobs_submitted() const {
     return submitted_.load(std::memory_order_relaxed);
   }
   uint64_t jobs_shed() const { return queue_.shed(); }
+  /// Served WFQ cost per class (total / while all classes backlogged).
+  double class_served_cost(JobClass cls) const {
+    return queue_.served_cost(cls);
+  }
+  double class_contended_cost(JobClass cls) const {
+    return queue_.contended_cost(cls);
+  }
 
+  const DevicePool& device_pool() const { return pool_; }
   const SchedulerConfig& config() const { return config_; }
 
  private:
@@ -141,7 +166,7 @@ class Scheduler {
 
   SchedulerConfig config_;
   JobQueue queue_;
-  FpgaArbiter arbiter_;
+  DevicePool pool_;
   std::chrono::steady_clock::time_point epoch_;
 
   std::atomic<uint64_t> next_id_{0};
@@ -166,9 +191,13 @@ class Scheduler {
   // Workers currently executing CPU-side work (adaptive interference).
   std::atomic<uint32_t> cpu_busy_{0};
 
-  // Deterministic mode: virtual free clocks, dispatcher-only.
-  double virt_fpga_free_ = 0.0;
+  // Deterministic mode: virtual free clocks (one per device and per
+  // worker), dispatcher-only.
+  std::vector<double> virt_device_free_;
   std::vector<double> virt_worker_free_;
+  // Live mode: scratch for the per-device backlog snapshot handed to
+  // DecidePlacement, dispatcher-only.
+  std::vector<double> backlog_scratch_;
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,248 @@
+// Property tests of the svc scheduling invariants under randomized job
+// streams: weighted-fair service shares (within the ±5% tolerance the
+// service promises), starvation freedom under continuous high-priority
+// load, intra-class earliest-deadline-first order, strict-arrival replay
+// order, and full-stream completion against 1/2/4-device pools.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/workloads.h"
+#include "svc/fpga_arbiter.h"
+#include "svc/job_queue.h"
+#include "svc/scheduler.h"
+
+namespace fpart::svc {
+namespace {
+
+std::shared_ptr<JobRecord> MakeJob(uint64_t seq, JobClass cls, double cost,
+                                   double deadline_key =
+                                       std::numeric_limits<double>::infinity()) {
+  auto rec = std::make_shared<JobRecord>();
+  rec->seq = seq;
+  rec->cls = cls;
+  rec->wfq_cost = cost;
+  rec->deadline_key = deadline_key;
+  return rec;
+}
+
+// ------------------------------------------------------------- WFQ shares
+
+// While every class stays backlogged, served cost per class must track the
+// configured weights within ±5% — the service's headline fairness claim.
+TEST(WfqPropertyTest, ContendedSharesTrackWeightsWithinTolerance) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x9e37ULL);
+    std::array<double, kNumJobClasses> weights;
+    for (auto& w : weights) w = 1.0 + rng.NextDouble() * 9.0;
+
+    const size_t kPerClass = 300;
+    JobQueue queue(kPerClass * kNumJobClasses, /*strict_seq=*/false, weights);
+    uint64_t seq = 0;
+    for (size_t i = 0; i < kPerClass; ++i) {
+      for (size_t c = 0; c < kNumJobClasses; ++c) {
+        ASSERT_TRUE(queue
+                        .Push(MakeJob(seq++, static_cast<JobClass>(c),
+                                      1.0 + rng.NextDouble() * 99.0))
+                        .ok());
+      }
+    }
+    queue.Close();
+    while (queue.Pop() != nullptr) {
+    }
+
+    double total_contended = 0.0, total_weight = 0.0;
+    for (size_t c = 0; c < kNumJobClasses; ++c) {
+      total_contended += queue.contended_cost(static_cast<JobClass>(c));
+      total_weight += weights[c];
+    }
+    ASSERT_GT(total_contended, 0.0);
+    for (size_t c = 0; c < kNumJobClasses; ++c) {
+      const double share =
+          queue.contended_cost(static_cast<JobClass>(c)) / total_contended;
+      const double want = weights[c] / total_weight;
+      EXPECT_NEAR(share, want, 0.05)
+          << "seed " << seed << " class " << c << " weight " << weights[c];
+    }
+  }
+}
+
+// --------------------------------------------------------------- starvation
+
+// A single best-effort job must dispatch within a bounded number of pops
+// even when interactive jobs arrive continuously — the scenario a naive
+// strict-priority queue (or a WFQ that re-stamps waiters against the
+// moving virtual clock) starves forever.
+TEST(WfqPropertyTest, BestEffortIsNotStarvedByContinuousInteractiveLoad) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0xbe57ULL);
+    std::array<double, kNumJobClasses> weights = kDefaultClassWeights;
+    weights[0] = 4.0 + rng.NextDouble() * 12.0;  // interactive
+    weights[2] = 0.5 + rng.NextDouble();         // best-effort
+    JobQueue queue(1024, /*strict_seq=*/false, weights);
+
+    const double be_cost = 1.0 + rng.NextDouble() * 9.0;
+    const double ia_cost = 1.0 + rng.NextDouble() * 9.0;
+    uint64_t seq = 0;
+    ASSERT_TRUE(
+        queue.Push(MakeJob(seq++, JobClass::kBestEffort, be_cost)).ok());
+    // WFQ bound: the best-effort head finishes at most (be_cost/w_be)
+    // virtual units after its stamp, while each interactive pop advances
+    // the clock by ia_cost/w_ia — plus one pop of slack for the tie rule.
+    const size_t bound = static_cast<size_t>(std::ceil(
+                             (be_cost / weights[2]) /
+                             (ia_cost / weights[0]))) +
+                         2;
+    bool popped_best_effort = false;
+    for (size_t i = 0; i < bound; ++i) {
+      ASSERT_TRUE(
+          queue.Push(MakeJob(seq++, JobClass::kInteractive, ia_cost)).ok());
+      auto rec = queue.Pop();
+      ASSERT_NE(rec, nullptr);
+      if (rec->cls == JobClass::kBestEffort) {
+        popped_best_effort = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(popped_best_effort)
+        << "seed " << seed << ": best-effort job starved past its WFQ bound ("
+        << bound << " pops)";
+  }
+}
+
+// ------------------------------------------------------ intra-class order
+
+// Within one class, jobs dispatch earliest-deadline-first with FIFO among
+// equal deadlines, no matter how the classes interleave overall.
+TEST(WfqPropertyTest, IntraClassOrderIsDeadlineThenFifo) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0xdead1ULL);
+    JobQueue queue(1024, /*strict_seq=*/false);
+    const size_t kJobs = 240;
+    for (uint64_t i = 0; i < kJobs; ++i) {
+      // A third of the jobs carry no deadline (+inf key); deadlines repeat
+      // across jobs so the FIFO tiebreak is exercised too.
+      const double key = rng.NextDouble() < 0.33
+                             ? std::numeric_limits<double>::infinity()
+                             : 0.001 * static_cast<double>(rng.Below(20));
+      queue.Push(MakeJob(i, static_cast<JobClass>(rng.Below(kNumJobClasses)),
+                         1.0 + rng.NextDouble() * 49.0, key));
+    }
+    queue.Close();
+
+    std::array<std::pair<double, uint64_t>, kNumJobClasses> last;
+    last.fill({-1.0, 0});
+    std::shared_ptr<JobRecord> rec;
+    while ((rec = queue.Pop()) != nullptr) {
+      const size_t c = static_cast<size_t>(rec->cls);
+      const std::pair<double, uint64_t> key{rec->deadline_key, rec->seq};
+      EXPECT_TRUE(last[c] < key)
+          << "seed " << seed << " class " << c
+          << ": deadline order violated at seq " << rec->seq;
+      last[c] = key;
+    }
+  }
+}
+
+// ------------------------------------------------------ strict-seq replay
+
+// Deterministic mode ignores classes and weights entirely: pops come back
+// in exact arrival-sequence order however the pushes were interleaved.
+TEST(WfqPropertyTest, StrictSeqReproducesArrivalOrder) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x5eedULL);
+    const size_t kJobs = 200;
+    JobQueue queue(kJobs, /*strict_seq=*/true);
+    // Push a random permutation of the sequence numbers with random
+    // classes and deadlines — none of which may affect the pop order.
+    std::vector<uint64_t> order(kJobs);
+    for (uint64_t i = 0; i < kJobs; ++i) order[i] = i;
+    for (size_t i = kJobs - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.Below(i + 1)]);
+    }
+    for (uint64_t s : order) {
+      ASSERT_TRUE(
+          queue
+              .Push(MakeJob(s, static_cast<JobClass>(rng.Below(kNumJobClasses)),
+                            1.0 + rng.NextDouble() * 99.0,
+                            rng.NextDouble()))
+              .ok());
+    }
+    queue.Close();
+    for (uint64_t want = 0; want < kJobs; ++want) {
+      auto rec = queue.Pop();
+      ASSERT_NE(rec, nullptr);
+      EXPECT_EQ(rec->seq, want) << "seed " << seed;
+    }
+    EXPECT_EQ(queue.Pop(), nullptr);
+  }
+}
+
+// ----------------------------------------------------- device-pool streams
+
+// End-to-end randomized stream against 1/2/4-device pools: every job
+// completes, the pool's grant accounting is consistent, and with several
+// devices the grants actually spread beyond one device.
+TEST(WfqPropertyTest, RandomStreamsCompleteAgainstAnyPoolSize) {
+  auto rel = GenerateRawRelation(1 << 12, KeyDistribution::kRandom, 11);
+  ASSERT_TRUE(rel.ok());
+  for (size_t devices : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+      Rng rng(seed * 0xf00dULL + devices);
+      SchedulerConfig config;
+      config.fpga_devices = devices;
+      config.num_workers = 4;
+      config.queue_capacity = 256;
+      Scheduler scheduler(config);
+
+      std::vector<JobHandle> handles;
+      for (int i = 0; i < 60; ++i) {
+        PartitionJobSpec spec;
+        spec.input = &*rel;
+        spec.request.fanout = 64;
+        spec.request.output_mode = OutputMode::kHist;
+        JobOptions opts;
+        opts.pinned = Backend::kFpga;  // keep the pool under pressure
+        opts.job_class = static_cast<JobClass>(rng.Below(kNumJobClasses));
+        if (rng.NextDouble() < 0.5) {
+          opts.deadline_seconds = 0.001 + rng.NextDouble() * 0.02;
+        }
+        auto h = scheduler.Submit(spec, opts);
+        ASSERT_TRUE(h.ok());
+        handles.push_back(std::move(h).ValueUnsafe());
+      }
+      scheduler.Shutdown();
+
+      for (const JobHandle& h : handles) {
+        auto out = h.TryGet();
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->state, JobState::kCompleted) << out->status.ToString();
+        EXPECT_EQ(out->backend, Backend::kFpga);
+      }
+      const DevicePool& pool = scheduler.device_pool();
+      EXPECT_EQ(pool.grants(), handles.size());
+      uint64_t sum = 0;
+      size_t devices_used = 0;
+      for (size_t i = 0; i < pool.num_devices(); ++i) {
+        sum += pool.device_grants(i);
+        devices_used += pool.device_grants(i) > 0 ? 1 : 0;
+      }
+      EXPECT_EQ(sum, pool.grants());
+      if (devices > 1) {
+        EXPECT_GE(devices_used, 2u)
+            << devices << "-device pool never spread its grants";
+      }
+      EXPECT_NEAR(pool.total_backlog_seconds(), 0.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fpart::svc

@@ -1,12 +1,16 @@
-// Tests of the svc runtime: placement policy, admission control, the FPGA
-// lease arbiter (including cancellation handoff), deterministic replay,
-// and cross-backend result parity.
+// Tests of the svc runtime: placement policy (including boundary
+// conditions), admission control, the multi-FPGA device pool (lease
+// exclusivity, least-backlogged grants, cancellation handoff),
+// deterministic replay across device counts, stress under racing
+// submitters and cancellations, and cross-backend result parity.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/engine.h"
 #include "datagen/workloads.h"
 #include "datagen/zipf.h"
@@ -101,6 +105,71 @@ TEST(PlacementTest, IsPureAndDeterministic) {
   EXPECT_DOUBLE_EQ(a.cpu_latency_seconds, b.cpu_latency_seconds);
 }
 
+// ------------------------------------------- placement boundary conditions
+
+TEST(PlacementTest, TieEpsilonEdgeIsInclusive) {
+  PlacementInput in;
+  in.kind = JobKind::kPartition;
+  in.n_tuples = 1 << 20;
+  in.cpu_threads = 1;
+  PlacementDecision base = DecidePlacement(in);
+  ASSERT_EQ(base.backend, Backend::kFpga);
+  const double gap = base.est_cpu_seconds - base.est_fpga_seconds;
+  // At the margin: fpga_latency - cpu_latency == eps * fpga_latency solves
+  // to backlog = gap + eps/(1-eps) * cpu_latency; the <= comparison keeps
+  // the FPGA there. Shave one part in 10^3 off so float rounding in the
+  // margin product cannot tip the exact-equality case either way.
+  const double eps = kPlacementTieEpsilon;
+  in.fpga_backlog_seconds =
+      (gap + eps / (1.0 - eps) * base.est_cpu_seconds) * 0.999;
+  PlacementDecision at_edge = DecidePlacement(in);
+  EXPECT_EQ(at_edge.backend, Backend::kFpga);
+  EXPECT_TRUE(at_edge.tie);
+  // Nudged past the margin: the CPU wins.
+  in.fpga_backlog_seconds *= 1.01;
+  PlacementDecision past_edge = DecidePlacement(in);
+  EXPECT_EQ(past_edge.backend, Backend::kCpu);
+  EXPECT_FALSE(past_edge.tie);
+}
+
+TEST(PlacementTest, ZeroTupleJobsRunOnCpuWithFiniteEstimates) {
+  for (JobKind kind : {JobKind::kPartition, JobKind::kJoin}) {
+    PlacementInput in;
+    in.kind = kind;
+    in.n_tuples = 0;
+    in.r_tuples = 0;
+    in.s_tuples = 0;
+    PlacementDecision d = DecidePlacement(in);
+    EXPECT_EQ(d.backend, Backend::kCpu);
+    EXPECT_FALSE(std::isnan(d.est_fpga_seconds));
+    EXPECT_FALSE(std::isnan(d.est_cpu_seconds));
+    EXPECT_FALSE(std::isnan(d.fpga_latency_seconds));
+    EXPECT_FALSE(std::isnan(d.cpu_latency_seconds));
+    EXPECT_DOUBLE_EQ(d.est_cpu_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(d.device_seconds, 0.0);
+  }
+}
+
+TEST(PlacementTest, SaturatedPoolSpillsToCpuUntilADeviceFrees) {
+  PlacementInput in;
+  in.kind = JobKind::kPartition;
+  in.n_tuples = 1 << 20;
+  in.cpu_threads = 1;
+  PlacementDecision base = DecidePlacement(in);
+  ASSERT_EQ(base.backend, Backend::kFpga);
+  // Every device clock saturated past the CPU estimate: spill to CPU.
+  const double saturated = base.est_cpu_seconds * 4.0;
+  double backlogs[4] = {saturated, saturated, saturated, saturated};
+  in.device_backlogs = backlogs;
+  in.fpga_devices = 4;
+  EXPECT_EQ(DecidePlacement(in).backend, Backend::kCpu);
+  // One device drains: the pool minimum rules and the FPGA wins again.
+  backlogs[2] = 0.0;
+  PlacementDecision d = DecidePlacement(in);
+  EXPECT_EQ(d.backend, Backend::kFpga);
+  EXPECT_DOUBLE_EQ(EffectiveFpgaBacklogSeconds(in), 0.0);
+}
+
 // ---------------------------------------------------------------- job queue
 
 TEST(JobQueueTest, PopsInDeadlineThenFifoOrder) {
@@ -154,67 +223,142 @@ TEST(JobQueueTest, FullQueueShedsWithCapacityError) {
   EXPECT_EQ(queue.pushed(), 2u);
 }
 
-// ------------------------------------------------------------ FPGA arbiter
+// ------------------------------------------------------------- device pool
 
-TEST(FpgaArbiterTest, ExclusiveLease) {
-  FpgaArbiter arbiter;
+TEST(DevicePoolTest, SingleDeviceLeaseIsExclusive) {
+  DevicePool pool(1);
   JobRecord a, b;
   a.seq = 0;
   b.seq = 1;
-  ASSERT_TRUE(arbiter.Acquire(&a).ok());
+  ASSERT_TRUE(pool.Acquire(&a).ok());
+  EXPECT_EQ(a.device, 0);
   std::atomic<bool> b_granted{false};
   std::thread waiter([&] {
-    ASSERT_TRUE(arbiter.Acquire(&b).ok());
+    ASSERT_TRUE(pool.Acquire(&b).ok());
     b_granted.store(true);
-    arbiter.Release(&b);
+    pool.Release(&b);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_FALSE(b_granted.load()) << "lease must be exclusive";
-  arbiter.Release(&a);
+  pool.Release(&a);
   waiter.join();
   EXPECT_TRUE(b_granted.load());
-  EXPECT_EQ(arbiter.grants(), 2u);
+  EXPECT_EQ(pool.grants(), 2u);
 }
 
-TEST(FpgaArbiterTest, CancelledWaiterHandsLeaseToNext) {
-  FpgaArbiter arbiter;
+TEST(DevicePoolTest, TwoDevicesServeTwoHoldersConcurrently) {
+  DevicePool pool(2);
   JobRecord a, b, c;
   a.seq = 0;
   b.seq = 1;
   c.seq = 2;
-  ASSERT_TRUE(arbiter.Acquire(&a).ok());
+  ASSERT_TRUE(pool.Acquire(&a).ok());
+  ASSERT_TRUE(pool.Acquire(&b).ok());
+  // Both devices held, and they are distinct.
+  EXPECT_NE(a.device, b.device);
+  std::atomic<bool> c_granted{false};
+  std::thread waiter([&] {
+    ASSERT_TRUE(pool.Acquire(&c).ok());
+    c_granted.store(true);
+    pool.Release(&c);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(c_granted.load()) << "pool of 2 cannot grant a third lease";
+  pool.Release(&a);
+  waiter.join();
+  EXPECT_TRUE(c_granted.load());
+  pool.Release(&b);
+  EXPECT_EQ(pool.grants(), 3u);
+}
+
+TEST(DevicePoolTest, GrantPicksLeastBackloggedFreeDevice) {
+  DevicePool pool(3);
+  // Load the per-device backlog clocks unevenly: device 1 is lightest.
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.5), 0);   // dev0 = 0.5
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.2), 1);   // dev1 = 0.2
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.4), 2);   // dev2 = 0.4
+  JobRecord a;
+  a.seq = 0;
+  ASSERT_TRUE(pool.Acquire(&a).ok());
+  EXPECT_EQ(a.device, 1);
+  // With device 1 held, the next grant takes device 2 (0.4 < 0.5).
+  JobRecord b;
+  b.seq = 1;
+  ASSERT_TRUE(pool.Acquire(&b).ok());
+  EXPECT_EQ(b.device, 2);
+  pool.Release(&a);
+  pool.Release(&b);
+}
+
+TEST(DevicePoolTest, OwnChargeIsDiscountedWhenPickingADevice) {
+  DevicePool pool(2);
+  JobRecord a;
+  a.seq = 0;
+  // The job's own estimate was charged to device 0; without the discount
+  // the charge would repel the job onto device 1.
+  a.charged_device = pool.ChargeLeastLoaded(0.5);
+  a.placed_estimate_seconds = 0.5;
+  ASSERT_EQ(a.charged_device, 0);
+  ASSERT_TRUE(pool.Acquire(&a).ok());
+  EXPECT_EQ(a.device, 0);
+  pool.Release(&a);
+  pool.Credit(a.charged_device, 0.5);
+  EXPECT_DOUBLE_EQ(pool.total_backlog_seconds(), 0.0);
+}
+
+TEST(DevicePoolTest, CancelledWaiterHandsLeaseToNextPerDevice) {
+  DevicePool pool(2);
+  JobRecord a, a2, b, c;
+  a.seq = 0;
+  a2.seq = 1;
+  b.seq = 2;
+  c.seq = 3;
+  ASSERT_TRUE(pool.Acquire(&a).ok());
+  ASSERT_TRUE(pool.Acquire(&a2).ok());  // both devices held
 
   Status b_status, c_status;
-  std::thread tb([&] { b_status = arbiter.Acquire(&b); });
+  std::thread tb([&] { b_status = pool.Acquire(&b); });
   std::thread tc([&] {
-    c_status = arbiter.Acquire(&c);
-    if (c_status.ok()) arbiter.Release(&c);
+    c_status = pool.Acquire(&c);
+    if (c_status.ok()) pool.Release(&c);
   });
   // Wait until both are registered waiters, then cancel B while it waits.
-  while (arbiter.waiters() < 2) {
+  while (pool.waiters() < 2) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   b.cancel.store(true);
-  arbiter.NotifyCancelled();
+  pool.NotifyCancelled();
   tb.join();
   EXPECT_TRUE(b_status.IsCancelled());
 
-  // A releases; the lease must go to C (B is gone), not stall.
-  arbiter.Release(&a);
+  // One device frees; its lease must go to C (B is gone), not stall.
+  pool.Release(&a);
   tc.join();
   EXPECT_TRUE(c_status.ok());
-  EXPECT_EQ(arbiter.grants(), 2u);  // A and C; B never held it
+  pool.Release(&a2);
+  EXPECT_EQ(pool.grants(), 3u);  // A, A2 and C; B never held a device
 }
 
-TEST(FpgaArbiterTest, BacklogAccounting) {
-  FpgaArbiter arbiter;
-  arbiter.AddBacklog(0.25);
-  arbiter.AddBacklog(0.5);
-  EXPECT_DOUBLE_EQ(arbiter.backlog_seconds(), 0.75);
-  arbiter.SubBacklog(0.25);
-  EXPECT_DOUBLE_EQ(arbiter.backlog_seconds(), 0.5);
-  arbiter.SubBacklog(10.0);  // never negative
-  EXPECT_DOUBLE_EQ(arbiter.backlog_seconds(), 0.0);
+TEST(DevicePoolTest, PerDeviceBacklogAccounting) {
+  DevicePool pool(2);
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.25), 0);
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.5), 1);
+  EXPECT_EQ(pool.ChargeLeastLoaded(0.25), 0);  // dev0 = 0.5, dev1 = 0.5
+  EXPECT_DOUBLE_EQ(pool.device_backlog_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(pool.device_backlog_seconds(1), 0.5);
+  EXPECT_DOUBLE_EQ(pool.total_backlog_seconds(), 1.0);
+  pool.Credit(1, 0.5);
+  EXPECT_DOUBLE_EQ(pool.backlog_seconds(), 0.0);  // pool minimum
+  EXPECT_DOUBLE_EQ(pool.device_backlog_seconds(0), 0.5);
+  pool.Credit(0, 10.0);  // never negative
+  EXPECT_DOUBLE_EQ(pool.device_backlog_seconds(0), 0.0);
+  pool.Credit(-1, 1.0);  // CPU placements carry no device charge: no-op
+  EXPECT_DOUBLE_EQ(pool.total_backlog_seconds(), 0.0);
+  std::vector<double> snap;
+  pool.SnapshotBacklogs(&snap);
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0], 0.0);
+  EXPECT_DOUBLE_EQ(snap[1], 0.0);
 }
 
 // --------------------------------------------------------------- scheduler
@@ -474,6 +618,153 @@ TEST(SchedulerTest, DrainsOnShutdownWithManyClients) {
     auto out = h.TryGet();
     ASSERT_TRUE(out.has_value()) << "job not drained by Shutdown";
     EXPECT_EQ(out->state, JobState::kCompleted);
+  }
+}
+
+// Stress the device pool under TSan: racing submitters firing device-pinned
+// jobs of every priority class at a 2-device pool while randomly cancelling
+// a third of them in flight. Every job must reach a terminal state and the
+// pool's backlog accounting must balance back to zero.
+TEST(SchedulerTest, StressRacingSubmittersAndCancellationsOnDevicePool) {
+  Relation<Tuple8> rel = MakeRelation(1 << 12);
+  const size_t kClients = 4;
+  const size_t kJobsPerClient = 40;
+
+  SchedulerConfig config;
+  config.fpga_devices = 2;
+  config.num_workers = 4;
+  config.queue_capacity = kClients * kJobsPerClient;
+  Scheduler scheduler(config);
+
+  std::vector<JobHandle> handles(kClients * kJobsPerClient);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x57e55ULL * (c + 1));
+      for (size_t i = 0; i < kJobsPerClient; ++i) {
+        PartitionJobSpec spec;
+        spec.input = &rel;
+        spec.request.fanout = 64;
+        spec.request.output_mode = OutputMode::kHist;
+        JobOptions opts;
+        // Everything goes through the device pool; classes and deadlines
+        // exercise the WFQ queue and the pool's deadline-ordered waiters.
+        opts.pinned = Backend::kFpga;
+        opts.job_class = static_cast<JobClass>(rng.Below(kNumJobClasses));
+        if (rng.NextDouble() < 0.5) {
+          opts.deadline_seconds = 0.001 + rng.NextDouble() * 0.05;
+        }
+        auto h = scheduler.Submit(spec, opts);
+        ASSERT_TRUE(h.ok());
+        handles[c * kJobsPerClient + i] = std::move(h).ValueUnsafe();
+        if (rng.NextDouble() < 0.33) {
+          // Race the cancel against admission, placement, the lease wait
+          // and execution — all four interleavings happen across seeds.
+          scheduler.Cancel(handles[c * kJobsPerClient + i]);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  scheduler.Shutdown();
+
+  size_t completed = 0, cancelled = 0;
+  for (const JobHandle& h : handles) {
+    auto out = h.TryGet();
+    ASSERT_TRUE(out.has_value()) << "job not drained by Shutdown";
+    ASSERT_TRUE(out->state == JobState::kCompleted ||
+                out->state == JobState::kCancelled)
+        << JobStateName(out->state) << ": " << out->status.ToString();
+    (out->state == JobState::kCompleted ? completed : cancelled) += 1;
+  }
+  // With a 33% cancel rate both outcomes must actually occur.
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(cancelled, 0u);
+
+  const DevicePool& pool = scheduler.device_pool();
+  EXPECT_EQ(pool.waiters(), 0u);
+  // Every placement charge was credited back on completion/cancellation.
+  EXPECT_NEAR(pool.total_backlog_seconds(), 0.0, 1e-9);
+  uint64_t device_grants = 0;
+  for (size_t i = 0; i < pool.num_devices(); ++i) {
+    device_grants += pool.device_grants(i);
+  }
+  EXPECT_EQ(device_grants, pool.grants());
+  EXPECT_LE(pool.grants(), completed + cancelled);
+}
+
+// Determinism regression across pool sizes: for each device count the
+// fixed-seed job stream must replay to a bit-identical placement trace
+// (backend + checksum per job, folded into one FNV hash), regardless of
+// how many client threads race the submissions.
+TEST(SchedulerTest, DeterministicTraceHashStableAcrossDeviceCounts) {
+  const size_t kTables = 4;
+  const uint64_t kJobs = 160;
+  std::vector<Relation<Tuple8>> tables;
+  for (size_t c = 0; c < kTables; ++c) {
+    tables.push_back(MakeRelation(size_t{1} << (11 + c), 90 + c));
+  }
+  ZipfSampler zipf(kTables, 0.9, 1234);
+  std::vector<size_t> table_of(kJobs);
+  for (auto& t : table_of) t = static_cast<size_t>(zipf.Next() - 1);
+  Rng class_rng(0xdecaf);
+  std::vector<JobClass> class_of(kJobs);
+  for (auto& cls : class_of) {
+    cls = static_cast<JobClass>(class_rng.Below(kNumJobClasses));
+  }
+
+  auto trace_hash = [&](size_t devices, size_t clients) {
+    SchedulerConfig config;
+    config.deterministic = true;
+    config.fpga_devices = devices;
+    config.num_workers = 2;  // worker virtual clocks are part of the model
+    config.queue_capacity = kJobs;
+    Scheduler scheduler(config);
+    std::vector<JobHandle> handles(kJobs);
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (uint64_t i = c; i < kJobs; i += clients) {
+          PartitionJobSpec spec;
+          spec.input = &tables[table_of[i]];
+          spec.request.fanout = 256;
+          spec.request.output_mode = OutputMode::kHist;
+          JobOptions opts;
+          opts.arrival_seq = i;
+          opts.virtual_arrival_seconds = i * 1e-5;
+          opts.job_class = class_of[i];
+          auto h = scheduler.Submit(spec, opts);
+          ASSERT_TRUE(h.ok());
+          handles[i] = std::move(h).ValueUnsafe();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    scheduler.Shutdown();
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (b * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+      }
+    };
+    for (uint64_t i = 0; i < kJobs; ++i) {
+      auto out = handles[i].TryGet();
+      EXPECT_TRUE(out.has_value());
+      EXPECT_EQ(out->state, JobState::kCompleted);
+      fold(static_cast<uint64_t>(out->backend));
+      fold(out->checksum);
+    }
+    return h;
+  };
+
+  for (size_t devices : {size_t{1}, size_t{2}, size_t{4}}) {
+    const uint64_t solo = trace_hash(devices, 1);
+    const uint64_t replay = trace_hash(devices, 1);
+    const uint64_t racing = trace_hash(devices, 4);
+    EXPECT_EQ(solo, replay) << devices << " devices: replay diverged";
+    EXPECT_EQ(solo, racing)
+        << devices << " devices: client interleaving changed the trace";
   }
 }
 
