@@ -36,6 +36,13 @@
 //                      `fpga` pins every job to the device pool — the
 //                      device-bound load that shows pool throughput
 //                      scaling with --fpga_devices
+//   --sim_mode M       reference|fast|analytical simulator backend for
+//                      every device run (default fast)
+//   --sim_cache B      1 = memoize device run results keyed by
+//                      config+input digest (default 0)
+//   --xcheck F         analytical only: fraction of device runs
+//                      re-executed on the fast engine to cross-check
+//                      outputs and predicted cycles (default 0)
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -71,6 +78,9 @@ struct Options {
   bool deterministic = true;
   uint64_t join_every = 64;
   svc::PlacementPolicy policy = svc::PlacementPolicy::kAdaptive;
+  SimMode sim_mode = SimMode::kFast;
+  bool sim_cache = false;
+  double xcheck = 0.0;
 };
 
 // Deterministic per-job priority class: a service sees a few interactive
@@ -164,6 +174,9 @@ int Run(const Options& opt) {
   config.policy = opt.policy;
   config.queue_capacity =
       opt.queue > 0 ? opt.queue : (opt.deterministic ? opt.jobs : 256);
+  config.sim_mode = opt.sim_mode;
+  config.sim_cache = opt.sim_cache;
+  config.xcheck = opt.xcheck;
   config.name = "svc";
   svc::Scheduler scheduler(config);
 
@@ -201,6 +214,9 @@ int Run(const Options& opt) {
           spec.request.fanout = 2048;
           spec.request.hash = HashMethod::kMurmur;
           spec.request.output_mode = OutputMode::kHist;
+          spec.request.sim_mode = opt.sim_mode;
+          spec.request.sim_cache = opt.sim_cache;
+          spec.request.xcheck = opt.xcheck;
           return scheduler.Submit(spec, jopts);
         }();
         if (handle.ok()) {
@@ -320,6 +336,9 @@ int Run(const Options& opt) {
   report.ConfigUInt("join_every", opt.join_every);
   report.ConfigStr("policy",
                    svc::PlacementPolicyName(config.policy));
+  report.ConfigStr("sim_mode", SimModeName(opt.sim_mode));
+  report.ConfigUInt("sim_cache", opt.sim_cache ? 1 : 0);
+  report.ConfigDouble("xcheck", opt.xcheck);
   report.ConfigDouble("scale", BenchScale());
   report.Result("latency", {{"p50_us", pct(0.50)},
                             {"p95_us", pct(0.95)},
@@ -482,6 +501,20 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "--policy must be adaptive|cpu|fpga|round-robin\n");
+        return 2;
+      }
+    } else if (fpart::ParseFlag(argc, argv, &i, "--sim_mode", &v)) {
+      if (!fpart::ParseSimMode(v, &opt.sim_mode)) {
+        std::fprintf(stderr,
+                     "--sim_mode must be reference|fast|analytical\n");
+        return 2;
+      }
+    } else if (fpart::ParseFlag(argc, argv, &i, "--sim_cache", &v)) {
+      opt.sim_cache = std::strtoull(v.c_str(), nullptr, 10) != 0;
+    } else if (fpart::ParseFlag(argc, argv, &i, "--xcheck", &v)) {
+      opt.xcheck = std::strtod(v.c_str(), nullptr);
+      if (opt.xcheck < 0.0 || opt.xcheck > 1.0) {
+        std::fprintf(stderr, "--xcheck must be in [0, 1]\n");
         return 2;
       }
     } else {

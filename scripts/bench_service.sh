@@ -6,6 +6,9 @@
 # with tail latency percentiles, the placement mix, and the svc.* metric
 # snapshot; flatten with scripts/bench_to_csv.py.
 # Usage: scripts/bench_service.sh [build_dir] [jobs] [clients] [devices]
+#                                 [extra ext_service flags...]
+# e.g. scripts/bench_service.sh build 10000 8 2 \
+#        --sim_mode analytical --sim_cache 1 --xcheck 0.01
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -13,6 +16,8 @@ build_dir=${1:-"$repo_root/build"}
 jobs=${2:-10000}
 clients=${3:-8}
 devices=${4:-1}
+[ $# -gt 0 ] && shift; [ $# -gt 0 ] && shift
+[ $# -gt 0 ] && shift; [ $# -gt 0 ] && shift
 
 if [ ! -x "$build_dir/bench/ext_service" ]; then
   echo "building ext_service in $build_dir ..." >&2
@@ -22,6 +27,6 @@ fi
 
 out="$repo_root/BENCH_service.json"
 "$build_dir/bench/ext_service" --json --jobs "$jobs" --clients "$clients" \
-  --fpga_devices "$devices" > "$out.tmp"
+  --fpga_devices "$devices" "$@" > "$out.tmp"
 mv "$out.tmp" "$out"
 cat "$out"

@@ -6,9 +6,10 @@
 # paths are all exercised regardless of the build host.
 #
 # The tsan suite builds with ThreadSanitizer and runs the concurrency-
-# heavy binaries (svc_test, svc_property_test, common_test, obs_test, plus
-# an ext_service smoke replay against a 2-device pool) directly — the full
-# ctest matrix is too slow under TSan to be a useful gate.
+# heavy binaries (svc_test, svc_property_test, common_test, obs_test,
+# sim_analytical_test's concurrent sim-cache races, plus an ext_service
+# smoke replay against a 2-device pool) directly — the full ctest matrix
+# is too slow under TSan to be a useful gate.
 #
 # Usage: scripts/check.sh [jobs] [suite...]
 #   suite: any of default, asan, tsan, native (default/asan/native when
@@ -47,14 +48,22 @@ run_tsan_suite() {
     -DFPART_SANITIZE_THREAD=ON -DFPART_BUILD_BENCHMARKS=ON \
     -DFPART_BUILD_EXAMPLES=OFF >&2
   cmake --build "$build_dir" -j "$jobs" \
-    --target svc_test svc_property_test common_test obs_test ext_service >&2
+    --target svc_test svc_property_test common_test obs_test \
+    sim_analytical_test ext_service >&2
   for bin in svc_test svc_property_test common_test obs_test; do
     echo "=== tsan $bin ===" >&2
     FPART_SCALE=0.0625 "$build_dir/tests/$bin"
   done
+  echo "=== tsan sim-cache concurrency ===" >&2
+  "$build_dir/tests/sim_analytical_test" \
+    --gtest_filter='SimAnalyticalTest.Cache*:SimAnalyticalTest.Concurrent*'
   echo "=== tsan ext_service smoke (2-device pool) ===" >&2
   FPART_SCALE=0.0625 "$build_dir/bench/ext_service" --json \
     --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 > /dev/null
+  echo "=== tsan ext_service analytical+cache smoke ===" >&2
+  FPART_SCALE=0.0625 "$build_dir/bench/ext_service" --json \
+    --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 \
+    --sim_mode analytical --sim_cache 1 --xcheck 0.05 > /dev/null
 }
 
 for suite in $suites; do

@@ -21,36 +21,57 @@ import sys
 
 ENVELOPE_KEYS = ["schema", "benchmark", "config", "results", "metrics"]
 
-# Binary -> (args, metric names its run must publish).
-CASES = {
-    "micro_sim": (["--json", "200000"],
-                  ["sim.runs", "sim.cycles", "sim.flush_drain_cycles",
-                   "sim.hash_lane.input_lines",
-                   "sim.write_combiner.stall_cycles",
-                   "sim.write_back.dummy_tuples", "qpi.read_lines",
-                   "qpi.write_lines", "qpi.read_stall_cycles",
-                   "qpi.write_stall_cycles", "qpi.bytes"]),
-    "micro_partition": (["--json", "1000000"],
-                        ["cpu.partition.runs", "cpu.partition.tuples",
-                         "cpu.partition.histogram_us",
-                         "cpu.partition.scatter_us"]),
-    "ext_join_algorithms": (["--json"],
-                            ["join.radix.runs", "join.matches",
-                             "cpu.partition.runs"]),
-    "ext_service": (["--json", "--jobs", "2000", "--clients", "4",
-                     "--fpga_devices", "2", "--classes", "8,3,1"],
-                    ["svc.jobs.submitted", "svc.jobs.completed",
-                     "svc.placed.cpu", "svc.placed.fpga",
-                     "svc.job.queue_us", "svc.job.total_us",
-                     "svc.fpga.lease_wait_us",
-                     "svc.device.0.grants", "svc.device.0.busy_us",
-                     "svc.device.1.grants", "svc.device.1.busy_us",
-                     "svc.class.interactive.submitted",
-                     "svc.class.interactive.completed",
-                     "svc.class.interactive.total_us",
-                     "svc.class.batch.completed",
-                     "svc.class.besteffort.completed"]),
-}
+EXT_SERVICE_METRICS = [
+    "svc.jobs.submitted", "svc.jobs.completed",
+    "svc.placed.cpu", "svc.placed.fpga",
+    "svc.job.queue_us", "svc.job.total_us",
+    "svc.fpga.lease_wait_us",
+    "svc.device.0.grants", "svc.device.0.busy_us",
+    "svc.device.1.grants", "svc.device.1.busy_us",
+    "svc.class.interactive.submitted",
+    "svc.class.interactive.completed",
+    "svc.class.interactive.total_us",
+    "svc.class.batch.completed",
+    "svc.class.besteffort.completed",
+]
+
+# (case name, binary, args, metric names the run must publish,
+#  config keys the document must carry).
+CASES = [
+    ("micro_sim", "micro_sim", ["--json", "200000"],
+     ["sim.runs", "sim.cycles", "sim.flush_drain_cycles",
+      "sim.hash_lane.input_lines",
+      "sim.write_combiner.stall_cycles",
+      "sim.write_back.dummy_tuples", "qpi.read_lines",
+      "qpi.write_lines", "qpi.read_stall_cycles",
+      "qpi.write_stall_cycles", "qpi.bytes"],
+     []),
+    ("micro_partition", "micro_partition", ["--json", "1000000"],
+     ["cpu.partition.runs", "cpu.partition.tuples",
+      "cpu.partition.histogram_us",
+      "cpu.partition.scatter_us"],
+     []),
+    ("ext_join_algorithms", "ext_join_algorithms", ["--json"],
+     ["join.radix.runs", "join.matches",
+      "cpu.partition.runs"],
+     []),
+    ("ext_service", "ext_service",
+     ["--json", "--jobs", "2000", "--clients", "4",
+      "--fpga_devices", "2", "--classes", "8,3,1"],
+     EXT_SERVICE_METRICS,
+     ["sim_mode", "sim_cache", "xcheck"]),
+    # The analytical backend with memoization and cross-checking: the run
+    # must additionally publish the cache counters and the model-error
+    # histogram (xcheck = 1 so the sample is never empty).
+    ("ext_service_analytical", "ext_service",
+     ["--json", "--jobs", "2000", "--clients", "4",
+      "--fpga_devices", "2", "--classes", "8,3,1",
+      "--sim_mode", "analytical", "--sim_cache", "1", "--xcheck", "1"],
+     EXT_SERVICE_METRICS + ["sim.cache.hits", "sim.cache.misses",
+                            "sim.cache.entries", "sim.cache.bytes",
+                            "sim.analytical.error_pct"],
+     ["sim_mode", "sim_cache", "xcheck"]),
+]
 
 # Result-object keys ext_service must report per priority class and per
 # device (the per-class latency percentiles and the utilization mix).
@@ -67,7 +88,8 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def validate(name: str, doc: dict, expected_metrics) -> None:
+def validate(name: str, doc: dict, expected_metrics,
+             expected_config=()) -> None:
     for key in ENVELOPE_KEYS:
         if key not in doc:
             fail(f"{name}: envelope key '{key}' missing")
@@ -93,7 +115,11 @@ def validate(name: str, doc: dict, expected_metrics) -> None:
         if mname not in metrics:
             fail(f"{name}: documented metric '{mname}' missing "
                  f"(have: {sorted(metrics)})")
-    if name == "ext_service":
+    for ckey in expected_config:
+        if ckey not in doc["config"]:
+            fail(f"{name}: documented config key '{ckey}' missing "
+                 f"(have: {sorted(doc['config'])})")
+    if name.startswith("ext_service"):
         for rkey in EXT_SERVICE_RESULT_KEYS:
             if rkey not in doc["results"]:
                 fail(f"{name}: result object '{rkey}' missing "
@@ -116,19 +142,19 @@ def main() -> int:
     env.setdefault("FPART_SCALE", "0.0625")
 
     checked = 0
-    for binary, (argv, expected) in CASES.items():
+    for case, binary, argv, expected, expected_config in CASES:
         path = os.path.join(args.bindir, binary)
         if not os.path.exists(path):
             fail(f"{path} not built")
         proc = subprocess.run([path] + argv, capture_output=True, text=True,
                               env=env, timeout=600)
         if proc.returncode != 0:
-            fail(f"{binary} exited {proc.returncode}: {proc.stderr}")
+            fail(f"{case} exited {proc.returncode}: {proc.stderr}")
         try:
             doc = json.loads(proc.stdout)
         except ValueError as e:
-            fail(f"{binary}: output is not valid JSON ({e}):\n{proc.stdout}")
-        validate(binary, doc, expected)
+            fail(f"{case}: output is not valid JSON ({e}):\n{proc.stdout}")
+        validate(case, doc, expected, expected_config)
         checked += 1
     print(f"OK: {checked} bench JSON documents match fpart.obs.v1")
     return 0

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -51,6 +52,22 @@ class PartitionedOutput {
     FPART_ASSIGN_OR_RETURN(out.buffer_,
                            AlignedBuffer::Allocate(total_cls * kCacheLineSize));
     out.total_cls_ = total_cls;
+    return out;
+  }
+
+  /// Deep copy (the buffer is move-only, so copying must be explicit).
+  /// Used by the simulation-result cache to hand out private copies of a
+  /// memoized run's output.
+  Result<PartitionedOutput<T>> Clone() const {
+    PartitionedOutput<T> out;
+    out.parts_ = parts_;
+    out.total_cls_ = total_cls_;
+    FPART_ASSIGN_OR_RETURN(
+        out.buffer_, AlignedBuffer::Allocate(total_cls_ * kCacheLineSize));
+    if (total_cls_ > 0) {
+      std::memcpy(out.buffer_.data(), buffer_.data(),
+                  total_cls_ * kCacheLineSize);
+    }
     return out;
   }
 

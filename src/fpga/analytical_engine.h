@@ -1,0 +1,555 @@
+// Analytical execution path of the circuit simulator (SimMode::kAnalytical).
+//
+// The analytical backend splits one simulated run into the two concerns the
+// cycle engines interleave:
+//
+//  * Timing is *predicted*, not simulated: per-pass cycle and stall counts
+//    come from the paper's Section 4.8 cost model and B(r) curve
+//    (FpgaCostModel::PredictPassCycles), applied per pass with that pass's
+//    actual read/write line mix. The CycleStats a run reports are therefore
+//    model outputs; the sampled cross-check harness in fpga/partitioner.h
+//    measures their error against SimMode::kFast.
+//
+//  * Placement is *replayed*, not predicted. Output bytes must stay
+//    bit-identical to the cycle engines, and experiment shows the write
+//    combiners' line interleaving genuinely depends on QPI grant timing
+//    (throttled and unthrottled links place intra-partition lines in
+//    different orders), so there is no order-free shortcut: the replay
+//    advances the shared QpiLink token bucket cycle by cycle and reproduces
+//    the exact gating graph of FastCircuit — feed back-pressure, the
+//    lane-FIFO/output-FIFO reservations, the 3-cycle completion-to-publish
+//    latency and the round-robin write-back. What it drops is everything
+//    with no placement consequence: per-cycle stage-register shuffling, the
+//    fill-rate forwarding mechanics (per (lane, partition) every K-th tuple
+//    completes a line — the bank contents are invariant in pop order), and
+//    all stall accounting. The HIST histogram pass needs no placement at
+//    all, so it collapses further: a flat functional histogram over the
+//    InputStager group stream plus a counter-only link replay that
+//    reproduces pass 1's read-grant pattern (the link's token and
+//    recalibration-window state carries into pass 2 and shifts placement
+//    there).
+//
+// The differential matrix in tests/sim_analytical_test.cc asserts output
+// bytes, partition metadata and abort behaviour identical to the other two
+// engines, and bounds the predicted-cycle error.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/status.h"
+#include "datagen/partitioned_output.h"
+#include "datagen/tuple.h"
+#include "fpga/config.h"
+#include "fpga/hash_lane.h"
+#include "fpga/staging.h"
+#include "fpga/write_combiner.h"
+#include "hash/hash_function.h"
+#include "model/cost_model.h"
+#include "qpi/qpi_link.h"
+#include "sim/stats.h"
+
+namespace fpart {
+
+/// \brief Model-timed, placement-exact implementation of one simulator pass.
+///
+/// One instance executes exactly one pass, like the other engines.
+template <typename T>
+class AnalyticalCircuit {
+ public:
+  static constexpr int K = TupleTraits<T>::kTuplesPerCacheLine;
+
+  AnalyticalCircuit(const FpgaPartitionerConfig& config, const PartitionFn& fn,
+                    HazardPolicy hazard, const InputStager<T>& stager)
+      : fn_(fn),
+        hazard_(hazard),
+        stager_(stager),
+        fanout_(config.fanout),
+        link_kind_(config.link),
+        interference_(config.interference),
+        lat_(config.hash_latency() < 1 ? 1u
+                                       : static_cast<uint32_t>(
+                                             config.hash_latency())),
+        in_depth_(config.lane_fifo_depth),
+        out_depth_(config.output_fifo_depth),
+        groups_per_read_(stager.GroupsPerRead()),
+        direct_(stager.SupportsDirectGroups()),
+        arrival_mask_(lat_, 0),
+        ring_(static_cast<size_t>(K) * in_depth_) {}
+
+  /// HIST pass 1: the histogram is a pure function of the group stream, so
+  /// it is computed flat; the cycle loop only replays the link interaction.
+  /// In pass 1 the sink pops every visible tuple each cycle, so lane
+  /// occupancy never exceeds lat_ + 1 (< lane_fifo_depth by Validate) and
+  /// feeds are gated by staging occupancy alone; each group drains exactly
+  /// lat_ + 1 cycles after its feed cycle.
+  Status HistogramPass(size_t n, uint64_t max_cycles, QpiLink* link,
+                       CycleStats* stats,
+                       std::vector<std::vector<uint64_t>>* lane_hist) {
+    lane_hist->assign(K, std::vector<uint64_t>(fanout_, 0));
+    const size_t total_reads = stager_.TotalReads(n);
+    if (direct_) {
+      const size_t groups = (n + K - 1) / K;
+      T tmp[K];
+      for (size_t g = 0; g < groups; ++g) {
+        const uint32_t cnt = stager_.FillGroup(n, g, tmp);
+        for (uint32_t k = 0; k < cnt; ++k) {
+          ++(*lane_hist)[k][HashOf(tmp[k])];
+        }
+      }
+    }
+    uint64_t cycles = 0;
+    size_t reads_done = 0;
+    size_t staged = 0;
+    uint64_t fed = 0, groups_fed = 0, last_feed = 0;
+    // Compressed frames produce irregular group counts; the histogram is
+    // accumulated at decode time and only the counts stay queued.
+    std::deque<uint8_t> counts;
+    while (fed < n || (groups_fed > 0 && cycles < last_feed + lat_ + 1)) {
+      if (cycles++ > max_cycles) {
+        return Status::Internal("histogram pass exceeded cycle budget");
+      }
+      link->Tick();
+      // FeedCycle, control only (same intra-cycle order as the engines:
+      // read issue against pre-feed occupancy, then one group fed).
+      const size_t occupancy = direct_ ? staged : counts.size();
+      if (reads_done < total_reads && occupancy < 2 * groups_per_read_) {
+        if (link->TryRead()) {
+          if (direct_) {
+            staged += stager_.GroupsOfRead(n, reads_done);
+          } else {
+            DecodeFrameForHistogram(n, reads_done, lane_hist, &counts);
+          }
+          ++reads_done;
+        }
+      }
+      const bool have_group = direct_ ? staged > 0 : !counts.empty();
+      if (have_group) {
+        uint32_t cnt;
+        if (direct_) {
+          --staged;
+          cnt = static_cast<uint32_t>(
+              std::min<size_t>(K, n - static_cast<size_t>(fed)));
+        } else {
+          cnt = counts.front();
+          counts.pop_front();
+        }
+        fed += cnt;
+        ++groups_fed;
+        last_feed = cycles;
+      }
+    }
+
+    stats->read_lines += total_reads;
+    stats->input_lines += groups_fed;
+    const uint64_t circuit = groups_fed == 0 ? 0 : groups_fed + lat_ + 1;
+    const FpgaCostModel::PassPrediction pred =
+        FpgaCostModel::PredictPassCycles(circuit, total_reads, 0, link_kind_,
+                                         interference_);
+    stats->cycles += pred.cycles;
+    stats->read_stall_cycles += pred.read_stall_cycles;
+    stats->write_stall_cycles += pred.write_stall_cycles;
+    stats->backpressure_cycles +=
+        pred.read_stall_cycles + pred.write_stall_cycles;
+    return Status::OK();
+  }
+
+  /// The writing pass: placement replay with modelled timing (see the file
+  /// comment). Structure mirrors FastCircuit::PartitionPass — streaming
+  /// loop, flush scan, drain — with identical per-cycle gating.
+  Status PartitionPass(size_t n, uint64_t max_cycles, QpiLink* link,
+                       CycleStats* stats, PartitionedOutput<T>* output) {
+    fill_.assign(static_cast<size_t>(K) * fanout_, 0);
+    banks_.assign(static_cast<size_t>(K) * K * fanout_, T{});
+    out_line_.assign(static_cast<size_t>(K) * out_depth_, CombinedLine<T>{});
+    const size_t total_reads = stager_.TotalReads(n);
+    uint64_t cycles = 0;
+
+    while (PartitionBusy(n)) {
+      const uint64_t w = fed_ < n ? (n - fed_ + K - 1) / K : 1;
+      for (uint64_t i = 0; i < w; ++i) {
+        if (cycles++ > max_cycles) {
+          return Status::Internal("partition pass exceeded cycle budget");
+        }
+        link->Tick();
+        WriteBackTick(link, output);
+        if (overflowed_) return OverflowStatus();
+        CombinerTick(cycles);
+        FeedCycle(n, total_reads, link);
+      }
+    }
+    const uint64_t stream_writes = lines_written_;
+
+    // --- Flush scan + drain (all publishes are past by now: the busy
+    // predicate covers the pending-publish queue).
+    for (int c = 0; c < K; ++c) {
+      uint32_t p = 0;
+      while (p < fanout_) {
+        if (cycles++ > max_cycles) {
+          return Status::Internal("flush exceeded cycle budget");
+        }
+        link->Tick();
+        WriteBackTick(link, output);
+        if (overflowed_) return OverflowStatus();
+        if (lanes_[c].out_count < out_depth_) {
+          FlushPartition(c, p);
+          ++p;
+        }
+      }
+    }
+    while (wb_valid_ || AnyOutputPending()) {
+      if (cycles++ > max_cycles) {
+        return Status::Internal("drain exceeded cycle budget");
+      }
+      link->Tick();
+      WriteBackTick(link, output);
+      if (overflowed_) return OverflowStatus();
+    }
+
+    // Exact functional counters.
+    uint64_t max_lane_stall = 0;
+    for (int c = 0; c < K; ++c) {
+      stats->internal_stall_cycles += lanes_[c].stall_cycles;
+      if (lanes_[c].stall_cycles > max_lane_stall) {
+        max_lane_stall = lanes_[c].stall_cycles;
+      }
+    }
+    stats->read_lines += total_reads;
+    stats->input_lines += groups_fed_;
+    stats->output_lines += lines_written_;
+    stats->dummy_tuples += dummy_tuples_;
+
+    // Modelled timing: the streaming phase moves total_reads read lines
+    // against stream_writes write lines over a circuit needing one cycle
+    // per group plus pipeline latency — plus, under the stalling hazard
+    // policy, the serialization of the slowest lane (pops stall in
+    // parallel, so the binding term is the per-lane maximum, which the
+    // replay counts exactly); the flush phase scans K * fanout BRAM
+    // addresses (the c_writecomb term of Table 3) while writing the
+    // remaining partial lines against the write-heavy end of the B(r)
+    // curve.
+    const uint64_t circuit_stream =
+        groups_fed_ == 0 ? 0 : groups_fed_ + lat_ + 6 + max_lane_stall;
+    const FpgaCostModel::PassPrediction stream_pred =
+        FpgaCostModel::PredictPassCycles(circuit_stream, total_reads,
+                                         stream_writes, link_kind_,
+                                         interference_);
+    const uint64_t flush_lines = lines_written_ - stream_writes;
+    const FpgaCostModel::PassPrediction flush_pred =
+        FpgaCostModel::PredictPassCycles(
+            static_cast<uint64_t>(K) * fanout_ + 8, 0, flush_lines,
+            link_kind_, interference_);
+    stats->cycles += stream_pred.cycles + flush_pred.cycles;
+    stats->flush_cycles += flush_pred.cycles;
+    stats->read_stall_cycles += stream_pred.read_stall_cycles;
+    stats->write_stall_cycles +=
+        stream_pred.write_stall_cycles + flush_pred.write_stall_cycles;
+    stats->backpressure_cycles += stream_pred.read_stall_cycles +
+                                  stream_pred.write_stall_cycles +
+                                  flush_pred.write_stall_cycles;
+    return Status::OK();
+  }
+
+ private:
+  /// Per-lane replay state: the merged delay-line/FIFO ring cursors (as in
+  /// FastCircuit), the two-deep pop history (hazard checks + in-flight
+  /// output-slot reservations), and the completion-to-publish delay queue.
+  struct alignas(64) Lane {
+    uint32_t head = 0;
+    uint32_t count = 0;
+    uint32_t inflight = 0;
+    // Pops of the last two cycles (partition + valid), shifted every cycle.
+    uint8_t s1_v = 0, s2_v = 0;
+    uint32_t s1_h = 0, s2_h = 0;
+    // Lines completed at pop time but not yet published to the output FIFO
+    // (publish lands pop + 3 cycles later, write-back sees it at pop + 4 —
+    // the stage-2/3 latency of the cycle engines). At most 3 in flight.
+    uint8_t npend = 0, pend_head = 0;
+    uint64_t pend_cycle[4] = {};
+    uint32_t out_head = 0, out_count = 0;
+    uint64_t stall_cycles = 0;
+  };
+
+  uint32_t HashOf(const T& t) const {
+    if constexpr (sizeof(t.key) == 4) {
+      return fn_(t.key);
+    } else {
+      return fn_.Apply64(t.key);
+    }
+  }
+
+  void DecodeFrameForHistogram(size_t n, size_t read_idx,
+                               std::vector<std::vector<uint64_t>>* lane_hist,
+                               std::deque<uint8_t>* counts) {
+    scratch_.clear();
+    stager_.MaterializeGroups(n, read_idx, &scratch_);
+    for (const TupleGroup<T>& g : scratch_) {
+      for (int k = 0; k < g.count; ++k) {
+        ++(*lane_hist)[k][HashOf(g.tuples[k])];
+      }
+      counts->push_back(g.count);
+    }
+  }
+
+  /// Identical to FastCircuit::FeedCycle minus the stall/line accounting.
+  void FeedCycle(size_t n, size_t total_reads, QpiLink* link) {
+    const size_t occupancy = direct_ ? staged_ : staging_.size();
+    if (reads_done_ < total_reads && occupancy < 2 * groups_per_read_) {
+      if (link->TryRead()) {
+        if (direct_) {
+          staged_ += stager_.GroupsOfRead(n, reads_done_);
+        } else {
+          stager_.MaterializeGroups(n, reads_done_, &staging_);
+        }
+        ++reads_done_;
+      }
+    }
+    uint32_t arrived = arrival_mask_[pipe_pos_];
+    if (arrived) {
+      arrival_mask_[pipe_pos_] = 0;
+      for (int c = 0; arrived; ++c, arrived >>= 1) {
+        ++lanes_[c].count;
+        --lanes_[c].inflight;
+      }
+    }
+    const bool have_group = direct_ ? staged_ > 0 : !staging_.empty();
+    if (have_group && full_lanes_ == 0) {
+      if (direct_) {
+        T tmp[K];
+        const uint32_t cnt = stager_.FillGroup(n, next_group_, tmp);
+        for (uint32_t c = 0; c < cnt; ++c) {
+          Lane& l = lanes_[c];
+          uint32_t pos = l.head + l.count + l.inflight;
+          if (pos >= in_depth_) pos -= in_depth_;
+          const T& t = tmp[c];
+          ring_[c * in_depth_ + pos] = HashedTuple<T>{HashOf(t), t};
+          if (l.count + ++l.inflight == in_depth_) ++full_lanes_;
+        }
+        arrival_mask_[pipe_pos_] = (1u << cnt) - 1;
+        fed_ += cnt;
+        --staged_;
+        ++next_group_;
+      } else {
+        const TupleGroup<T>& group = staging_.front();
+        for (int c = 0; c < group.count; ++c) {
+          Lane& l = lanes_[c];
+          uint32_t pos = l.head + l.count + l.inflight;
+          if (pos >= in_depth_) pos -= in_depth_;
+          const T& t = group.tuples[c];
+          ring_[c * in_depth_ + pos] = HashedTuple<T>{HashOf(t), t};
+          if (l.count + ++l.inflight == in_depth_) ++full_lanes_;
+        }
+        arrival_mask_[pipe_pos_] = (1u << group.count) - 1;
+        fed_ += group.count;
+        staging_.pop_front();
+      }
+      ++groups_fed_;
+    }
+    pipe_pos_ = pipe_pos_ + 1 == lat_ ? 0 : pipe_pos_ + 1;
+  }
+
+  T* BanksOf(int c, uint32_t p) {
+    return &banks_[(static_cast<size_t>(c) * fanout_ + p) * K];
+  }
+
+  /// The lean combiner clock: publish a due line, then pop under the exact
+  /// FastCircuit gate, appending straight into the bank and capturing a
+  /// completed line at pop time (contents are invariant in pop order; only
+  /// the publish instant needs the 3-cycle delay queue).
+  void CombinerTick(uint64_t cycle) {
+    for (int c = 0; c < K; ++c) {
+      Lane& l = lanes_[c];
+      if (l.count == 0 && (l.s1_v | l.s2_v | l.npend) == 0) continue;
+      // Stage 3: the line completed three cycles ago goes downstream.
+      if (l.npend != 0 && l.pend_cycle[l.pend_head] == cycle) {
+        if (l.out_count == 0) out_mask_ |= 1u << c;
+        ++l.out_count;
+        l.pend_head = (l.pend_head + 1) & 3;
+        --l.npend;
+      }
+      // Stage 0: pop when a tuple is visible and the output FIFO can
+      // absorb every in-flight line.
+      uint8_t in_v = 0;
+      uint32_t in_h = 0;
+      const uint32_t inflight_lines =
+          static_cast<uint32_t>(l.s1_v) + static_cast<uint32_t>(l.s2_v);
+      if (l.count > 0 && out_depth_ - l.out_count > inflight_lines) {
+        const HashedTuple<T>& front = ring_[c * in_depth_ + l.head];
+        if (hazard_ == HazardPolicy::kStall &&
+            ((l.s1_v && l.s1_h == front.hash) ||
+             (l.s2_v && l.s2_h == front.hash))) {
+          ++l.stall_cycles;
+        } else {
+          in_v = 1;
+          in_h = front.hash;
+          uint8_t* fill = &fill_[static_cast<size_t>(c) * fanout_];
+          T* bank = BanksOf(c, in_h);
+          const uint8_t f = fill[in_h];
+          bank[f] = front.tuple;
+          if (f + 1 == K) {
+            fill[in_h] = 0;
+            uint32_t pos = l.out_head + l.out_count + l.npend;
+            if (pos >= out_depth_) pos -= out_depth_;
+            CombinedLine<T>& line = out_line_[c * out_depth_ + pos];
+            line.partition = in_h;
+            line.valid_count = K;
+            for (int b = 0; b < K; ++b) line.tuples[b] = bank[b];
+            l.pend_cycle[(l.pend_head + l.npend) & 3] = cycle + 3;
+            ++l.npend;
+          } else {
+            fill[in_h] = static_cast<uint8_t>(f + 1);
+          }
+          l.head = l.head + 1 == in_depth_ ? 0 : l.head + 1;
+          if (l.count + l.inflight == in_depth_) --full_lanes_;
+          --l.count;
+        }
+      }
+      l.s2_v = l.s1_v;
+      l.s2_h = l.s1_h;
+      l.s1_v = in_v;
+      l.s1_h = in_h;
+    }
+  }
+
+  void FlushPartition(int c, uint32_t p) {
+    uint8_t* fill = &fill_[static_cast<size_t>(c) * fanout_];
+    const uint8_t count = fill[p];
+    if (count == 0) return;
+    const T* bank = BanksOf(c, p);
+    Lane& l = lanes_[c];
+    uint32_t pos = l.out_head + l.out_count;
+    if (pos >= out_depth_) pos -= out_depth_;
+    CombinedLine<T>& line = out_line_[c * out_depth_ + pos];
+    line.partition = p;
+    line.valid_count = count;
+    for (int b = 0; b < K; ++b) {
+      line.tuples[b] = b < count ? bank[b] : MakeDummyTuple<T>();
+    }
+    fill[p] = 0;
+    if (l.out_count == 0) out_mask_ |= 1u << c;
+    ++l.out_count;
+  }
+
+  /// Identical to FastCircuit::WriteBackTick minus the stall accounting
+  /// (lines_written_ / dummy_tuples_ stay exact).
+  void WriteBackTick(QpiLink* link, PartitionedOutput<T>* out) {
+    if (!wb_valid_ && !overflowed_ && out_mask_ != 0) {
+      const uint32_t full = (1u << K) - 1;
+      const uint32_t rot =
+          ((out_mask_ >> rr_cursor_) | (out_mask_ << (K - rr_cursor_))) & full;
+      const size_t idx =
+          (rr_cursor_ + static_cast<size_t>(__builtin_ctz(rot))) & (K - 1);
+      Lane& l = lanes_[idx];
+      wb_line_ = out_line_[idx * out_depth_ + l.out_head];
+      l.out_head = l.out_head + 1 == out_depth_ ? 0 : l.out_head + 1;
+      if (--l.out_count == 0) out_mask_ &= ~(1u << idx);
+      rr_cursor_ = idx + 1 == static_cast<size_t>(K) ? 0 : idx + 1;
+      PartitionInfo& part = out->part(wb_line_.partition);
+      if (part.written_cls >= part.capacity_cls) {
+        overflowed_ = true;
+        overflow_partition_ = wb_line_.partition;
+        return;
+      }
+      wb_dest_ = part.base_cl + part.written_cls;
+      ++part.written_cls;
+      part.num_tuples += wb_line_.valid_count;
+      wb_valid_ = true;
+    }
+    if (wb_valid_ && link->TryWrite()) {
+      uint8_t* dst = out->line(wb_dest_);
+#if defined(__SSE2__)
+      // Same rationale as FastCircuit: the output buffer dwarfs cache and
+      // every line is written exactly once, so streaming stores skip the
+      // read-for-ownership of the aligned destination lines.
+      const uint8_t* src =
+          reinterpret_cast<const uint8_t*>(wb_line_.tuples.data());
+      for (int b = 0; b < static_cast<int>(kCacheLineSize / 16); ++b) {
+        _mm_stream_si128(
+            reinterpret_cast<__m128i*>(dst + 16 * b),
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 16 * b)));
+      }
+#else
+      std::memcpy(dst, wb_line_.tuples.data(), kCacheLineSize);
+#endif
+      ++lines_written_;
+      dummy_tuples_ += CombinedLine<T>::kTuples - wb_line_.valid_count;
+      wb_valid_ = false;
+    }
+  }
+
+  bool PartitionBusy(size_t n) const {
+    if (fed_ < n || wb_valid_) return true;
+    for (int c = 0; c < K; ++c) {
+      const Lane& l = lanes_[c];
+      if (l.count != 0 || l.inflight != 0) return true;
+      if (l.s1_v || l.s2_v || l.npend != 0) return true;
+      if (l.out_count != 0) return true;
+    }
+    return false;
+  }
+
+  bool AnyOutputPending() const {
+    for (int c = 0; c < K; ++c) {
+      if (lanes_[c].out_count != 0) return true;
+    }
+    return false;
+  }
+
+  Status OverflowStatus() const {
+    return Status::PartitionOverflow(
+        "PAD-mode partition " + std::to_string(overflow_partition_) +
+        " overflowed; retry in HIST mode or fall back to the CPU "
+        "partitioner (Section 4.5)");
+  }
+
+  const PartitionFn fn_;
+  const HazardPolicy hazard_;
+  const InputStager<T>& stager_;
+  const uint32_t fanout_;
+  const LinkKind link_kind_;
+  const Interference interference_;
+  const uint32_t lat_;
+  const uint32_t in_depth_;
+  const uint32_t out_depth_;
+  const size_t groups_per_read_;
+  const bool direct_;
+
+  std::array<Lane, K> lanes_{};
+  std::vector<uint32_t> arrival_mask_;
+  uint32_t pipe_pos_ = 0;
+  uint32_t full_lanes_ = 0;
+  std::vector<HashedTuple<T>> ring_;
+
+  std::vector<uint8_t> fill_;
+  std::vector<T> banks_;
+  std::vector<CombinedLine<T>> out_line_;
+
+  CombinedLine<T> wb_line_{};
+  bool wb_valid_ = false;
+  uint64_t wb_dest_ = 0;
+  size_t rr_cursor_ = 0;
+  uint32_t out_mask_ = 0;
+  bool overflowed_ = false;
+  uint32_t overflow_partition_ = 0;
+
+  std::deque<TupleGroup<T>> staging_;
+  std::deque<TupleGroup<T>> scratch_;
+  size_t staged_ = 0;
+  size_t next_group_ = 0;
+  size_t reads_done_ = 0;
+  uint64_t fed_ = 0;
+  uint64_t groups_fed_ = 0;
+  uint64_t lines_written_ = 0;
+  uint64_t dummy_tuples_ = 0;
+};
+
+}  // namespace fpart

@@ -19,7 +19,28 @@ const char* LayoutModeName(LayoutMode mode) {
 }
 
 const char* SimModeName(SimMode mode) {
-  return mode == SimMode::kReference ? "reference" : "fast";
+  switch (mode) {
+    case SimMode::kReference:
+      return "reference";
+    case SimMode::kFast:
+      return "fast";
+    case SimMode::kAnalytical:
+      return "analytical";
+  }
+  return "unknown";
+}
+
+bool ParseSimMode(const std::string& name, SimMode* mode) {
+  if (name == "reference") {
+    *mode = SimMode::kReference;
+  } else if (name == "fast") {
+    *mode = SimMode::kFast;
+  } else if (name == "analytical") {
+    *mode = SimMode::kAnalytical;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace fpart

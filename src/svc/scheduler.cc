@@ -640,6 +640,9 @@ Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {
   fpga.output_mode = OutputMode::kHist;  // never overflows
   fpga.layout = LayoutMode::kRid;
   fpga.link = LinkKind::kXeonFpga;
+  fpga.sim_mode = config_.sim_mode;
+  fpga.sim_cache = config_.sim_cache;
+  fpga.xcheck = config_.xcheck;
   fpga.cancel = &rec->cancel;
   if (config_.adaptive_interference && !config_.deterministic &&
       cpu_busy_.load(std::memory_order_relaxed) > 0) {

@@ -39,6 +39,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "fpga/config.h"
 #include "svc/fpga_arbiter.h"
 #include "svc/job.h"
 #include "svc/job_queue.h"
@@ -85,6 +86,16 @@ struct SchedulerConfig {
   /// (Figure 2's "interfered" curves). Live mode only — deterministic
   /// replays use each request's own interference setting.
   bool adaptive_interference = true;
+  /// Simulator backend for device runs the scheduler configures itself
+  /// (the join jobs' partitioning passes). Partition jobs carry their own
+  /// PartitionRequest::sim_mode.
+  SimMode sim_mode = SimMode::kFast;
+  /// Memoize device run results (FpgaPartitionerConfig::sim_cache) on the
+  /// scheduler's own device runs — repeated job shapes skip re-simulation.
+  bool sim_cache = false;
+  /// kAnalytical only: cross-check sampling fraction
+  /// (FpgaPartitionerConfig::xcheck) on the scheduler's own device runs.
+  double xcheck = 0.0;
   /// Construct with the dispatcher held; jobs queue until Resume(). Lets
   /// tests stage admission-control and cancellation scenarios.
   bool start_paused = false;
