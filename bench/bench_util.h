@@ -3,8 +3,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
 
 namespace fpart {
 namespace bench {
@@ -21,6 +25,54 @@ inline void Banner(const char* experiment, const char* paper_ref) {
 inline double DeltaPct(double measured, double paper) {
   return paper != 0 ? (measured - paper) / paper * 100.0 : 0.0;
 }
+
+/// \brief Snapshot of the cumulative `hw.<phase>.*` registry counters that
+/// HwPhaseScope accumulates, so a bench can attribute counter deltas to a
+/// single run. When hardware counters are unsupported (no PMU, CI
+/// container, FPART_HW_COUNTERS=0) FieldsSince returns an empty list and
+/// the `hw.*` columns are simply absent from the report.
+struct HwUsage {
+  static constexpr const char* kPhases[] = {"histogram", "scatter"};
+  static constexpr size_t kNumPhases = 2;
+  uint64_t v[kNumPhases][obs::kNumHwEvents] = {};
+
+  static HwUsage Now() {
+    HwUsage u;
+    if (!obs::HwCountersSupported()) return u;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      for (size_t e = 0; e < obs::kNumHwEvents; ++e) {
+        u.v[p][e] = obs::HwPhaseCounter(kPhases[p], e)->Value();
+      }
+    }
+    return u;
+  }
+
+  /// Accumulate the counter movement of one interval into this snapshot
+  /// (for benches interleaving runs of different variants, so each
+  /// variant only sums its own intervals).
+  void AddDelta(const HwUsage& before, const HwUsage& after) {
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      for (size_t e = 0; e < obs::kNumHwEvents; ++e) {
+        v[p][e] += after.v[p][e] - before.v[p][e];
+      }
+    }
+  }
+
+  /// "hw.<phase>.<event>" delta fields accumulated since `before`.
+  std::vector<std::pair<std::string, double>> FieldsSince(
+      const HwUsage& before) const {
+    std::vector<std::pair<std::string, double>> fields;
+    if (!obs::HwCountersSupported()) return fields;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      for (size_t e = 0; e < obs::kNumHwEvents; ++e) {
+        fields.emplace_back(
+            std::string("hw.") + kPhases[p] + "." + obs::kHwEventNames[e],
+            static_cast<double>(v[p][e] - before.v[p][e]));
+      }
+    }
+    return fields;
+  }
+};
 
 }  // namespace bench
 }  // namespace fpart

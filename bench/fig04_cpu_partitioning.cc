@@ -6,16 +6,101 @@
 // the thread sweep); the "Xeon-10" column is the calibrated model of the
 // paper's machine, which carries the figure's shape: hash partitioning
 // starts ~2x slower but both saturate at the same memory bound.
+//
+// `--json [n]` emits the fpart.obs.v1 thread-scaling sweep instead: for
+// every thread count, one row per affinity setting (`affinity_none` = OS
+// placement vs `affinity_<policy>` = pinned workers), each with the phase
+// split and — when perf events are available — the `hw.*` cache/TLB
+// counter deltas of that run. See docs/observability.md.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "cpu/partitioner.h"
 #include "datagen/workloads.h"
 #include "model/cpu_model.h"
+#include "obs/report.h"
 
 namespace fpart {
 namespace {
+
+/// The "affinity on" policy of the sweep: FPART_AFFINITY when it names a
+/// real policy, otherwise numa-local on multi-node hosts and compact on
+/// single-node ones (where compact-vs-none is the measurable effect).
+AffinityPolicy OnPolicy() {
+  const AffinityPolicy env = AffinityPolicyFromEnv();
+  if (env != AffinityPolicy::kNone) return env;
+  return Topology::Host().num_nodes() > 1 ? AffinityPolicy::kNumaLocal
+                                          : AffinityPolicy::kCompact;
+}
+
+int JsonMain(size_t n) {
+  const uint32_t fanout = 8192;
+  const size_t host_max = BenchMaxThreads();
+  const AffinityPolicy on = OnPolicy();
+
+  auto rel = GenerateRawRelation(n, KeyDistribution::kRandom, 7);
+  if (!rel.ok()) {
+    std::fprintf(stderr, "datagen failed\n");
+    return 1;
+  }
+
+  obs::BenchReport report("fig04_cpu_partitioning");
+  report.ConfigUInt("n_tuples", n);
+  report.ConfigUInt("fanout", fanout);
+  report.ConfigStr("hash", "radix");
+  report.ConfigStr("tuple", "Tuple8");
+  report.ConfigStr("affinity", AffinityPolicyName(on));
+  report.ConfigUInt("max_threads", host_max);
+  report.ConfigUInt("num_nodes", Topology::Host().num_nodes());
+  report.ConfigStr("hw_counters",
+                   obs::HwCountersSupported() ? "available" : "unavailable");
+
+  for (size_t t : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{10}}) {
+    if (t > host_max) continue;
+    for (const AffinityPolicy policy : {AffinityPolicy::kNone, on}) {
+      CpuPartitionerConfig config;
+      config.fanout = fanout;
+      config.hash = HashMethod::kRadix;
+      config.num_threads = t;
+      config.affinity = policy;
+      // Best-of-3 to filter scheduler noise; hw deltas accumulate over
+      // every run of the row (misses per tuple stay comparable because
+      // each row runs the same tuple count).
+      constexpr int kRuns = 3;
+      const bench::HwUsage hw_before = bench::HwUsage::Now();
+      double best = -1.0, best_hist = 0.0, best_scatter = 0.0;
+      for (int r = 0; r < kRuns; ++r) {
+        auto run = CpuPartition(config, rel->data(), rel->size());
+        if (!run.ok()) {
+          std::fprintf(stderr, "partition run failed: %s\n",
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        if (best < 0 || run->seconds < best) {
+          best = run->seconds;
+          best_hist = run->histogram_seconds;
+          best_scatter = run->scatter_seconds;
+        }
+      }
+      auto fields = bench::HwUsage::Now().FieldsSince(hw_before);
+      // Normalize the accumulated counters to one run's worth.
+      for (auto& [key, value] : fields) value /= kRuns;
+      fields.emplace_back("seconds", best);
+      fields.emplace_back("mtuples_per_sec", best > 0 ? n / best / 1e6 : 0.0);
+      fields.emplace_back("histogram_seconds", best_hist);
+      fields.emplace_back("scatter_seconds", best_scatter);
+      char row[64];
+      std::snprintf(row, sizeof(row), "radix_t%zu_affinity_%s", t,
+                    AffinityPolicyName(policy));
+      report.Result(row, fields);
+    }
+  }
+  report.Print();
+  return 0;
+}
 
 int Run() {
   bench::Banner("fig04_cpu_partitioning", "Figure 4");
@@ -85,4 +170,15 @@ int Run() {
 }  // namespace
 }  // namespace fpart
 
-int main() { return fpart::Run(); }
+int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      size_t n = 16'000'000;
+      if (i + 1 < argc) n = std::strtoull(argv[i + 1], nullptr, 10);
+      if (n == 0) n = 16'000'000;
+      return fpart::JsonMain(n);
+    }
+  }
+  return fpart::Run();
+}

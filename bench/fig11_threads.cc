@@ -1,12 +1,19 @@
 // Figure 11: join time on workloads A (equal relations) and B (small build,
 // large probe) for an increasing number of build+probe threads; the CPU
 // join vs the hybrid join in PAD/RID and PAD/VRID modes. 8192 partitions.
+//
+// `--json` emits the fpart.obs.v1 CPU-join thread sweep on workload A
+// instead, one row per thread count per affinity setting (unpinned vs
+// pinned pool), with the partitioning-phase `hw.*` counter deltas when
+// perf events are available.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/fpart.h"
 #include "model/cpu_model.h"
+#include "obs/report.h"
 
 namespace fpart {
 namespace {
@@ -69,6 +76,71 @@ void RunWorkload(WorkloadId id, double scale, size_t host_max,
   std::printf("\n");
 }
 
+/// The "affinity on" policy of the sweep (see fig04): FPART_AFFINITY when
+/// set, else numa-local on multi-node hosts, compact on single-node ones.
+AffinityPolicy OnPolicy() {
+  const AffinityPolicy env = AffinityPolicyFromEnv();
+  if (env != AffinityPolicy::kNone) return env;
+  return Topology::Host().num_nodes() > 1 ? AffinityPolicy::kNumaLocal
+                                          : AffinityPolicy::kCompact;
+}
+
+int JsonMain() {
+  const double scale = BenchScale() / 8.0;
+  const size_t host_max = BenchMaxThreads();
+  const uint32_t fanout = 8192;
+  const AffinityPolicy on = OnPolicy();
+
+  auto input = GenerateWorkload(GetWorkloadSpec(WorkloadId::kA, scale), 7);
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  obs::BenchReport report("fig11_threads");
+  report.ConfigStr("workload", input->spec.name);
+  report.ConfigUInt("r_tuples", input->r.size());
+  report.ConfigUInt("s_tuples", input->s.size());
+  report.ConfigUInt("fanout", fanout);
+  report.ConfigStr("affinity", AffinityPolicyName(on));
+  report.ConfigUInt("max_threads", host_max);
+  report.ConfigUInt("num_nodes", Topology::Host().num_nodes());
+  report.ConfigStr("hw_counters",
+                   obs::HwCountersSupported() ? "available" : "unavailable");
+
+  // One pool per affinity setting, shared across the thread sweep the way
+  // the text mode shares its pool.
+  ThreadPool pool_off(host_max, "fpart-wkr", AffinityPolicy::kNone);
+  ThreadPool pool_on(host_max, "fpart-wkr", on);
+  for (size_t t : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{10}}) {
+    if (t > host_max) continue;
+    for (const AffinityPolicy policy : {AffinityPolicy::kNone, on}) {
+      CpuJoinConfig cpu;
+      cpu.fanout = fanout;
+      cpu.num_threads = t;
+      cpu.pool = policy == AffinityPolicy::kNone ? &pool_off : &pool_on;
+      const bench::HwUsage hw_before = bench::HwUsage::Now();
+      auto run = CpuRadixJoin(cpu, input->r, input->s);
+      if (!run.ok()) {
+        std::fprintf(stderr, "join failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      auto fields = bench::HwUsage::Now().FieldsSince(hw_before);
+      fields.emplace_back("partition_seconds", run->partition_seconds);
+      fields.emplace_back("build_probe_seconds", run->build_probe_seconds);
+      fields.emplace_back("total_seconds", run->total_seconds);
+      fields.emplace_back("mtuples_per_sec", run->mtuples_per_sec);
+      char row[64];
+      std::snprintf(row, sizeof(row), "cpu_join_t%zu_affinity_%s", t,
+                    AffinityPolicyName(policy));
+      report.Result(row, fields);
+    }
+  }
+  report.Print();
+  return 0;
+}
+
 int Run() {
   bench::Banner("fig11_threads", "Figure 11a/11b");
   const double scale = BenchScale() / 8.0;
@@ -88,4 +160,10 @@ int Run() {
 }  // namespace
 }  // namespace fpart
 
-int main() { return fpart::Run(); }
+int main(int argc, char** argv) {
+  fpart::obs::TraceSession trace(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return fpart::JsonMain();
+  }
+  return fpart::Run();
+}

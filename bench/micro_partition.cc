@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench/bench_util.h"
 #include "common/cpu_features.h"
 #include "common/timer.h"
 #include "cpu/partitioner.h"
@@ -91,13 +92,21 @@ int JsonMain(size_t n) {
   }
 
   // Interleaved best-of-5: each path's reported time is its fastest run,
-  // which filters scheduler noise without favouring either path.
+  // which filters scheduler noise without favouring either path. The hw.*
+  // counters accumulate over each path's five runs and are reported as
+  // per-run averages next to the best-of timings.
   constexpr int kRuns = 5;
   PhaseTimes scalar, fused;
+  bench::HwUsage scalar_acc, fused_acc;  // per-path counter accumulators
   for (int r = 0; r < kRuns; ++r) {
     PhaseTimes ss, fs;
+    const bench::HwUsage m0 = bench::HwUsage::Now();
     if (!RunOnce(*rel, /*use_simd=*/false, &ss)) return 1;
+    const bench::HwUsage m1 = bench::HwUsage::Now();
     if (!RunOnce(*rel, /*use_simd=*/true, &fs)) return 1;
+    const bench::HwUsage m2 = bench::HwUsage::Now();
+    scalar_acc.AddDelta(m0, m1);
+    fused_acc.AddDelta(m1, m2);
     if (r == 0 || ss.total < scalar.total) scalar = ss;
     if (r == 0 || fs.total < fused.total) fused = fs;
   }
@@ -110,14 +119,20 @@ int JsonMain(size_t n) {
   report.ConfigStr("tuple", "Tuple8");
   report.ConfigUInt("num_threads", 1);
   report.ConfigStr("simd_level", SimdLevelName(ActiveSimdLevel()));
-  auto row = [&](const char* name, const PhaseTimes& t) {
-    report.Result(name, {{"seconds", t.total},
-                         {"mtuples_per_sec", mtps(t.total)},
-                         {"histogram_seconds", t.histogram},
-                         {"scatter_seconds", t.scatter}});
+  report.ConfigStr("affinity", AffinityPolicyName(AffinityPolicyFromEnv()));
+  report.ConfigStr("hw_counters",
+                   obs::HwCountersSupported() ? "available" : "unavailable");
+  auto row = [&](const char* name, const PhaseTimes& t,
+                 std::vector<std::pair<std::string, double>> hw) {
+    for (auto& [key, value] : hw) value /= kRuns;
+    hw.emplace_back("seconds", t.total);
+    hw.emplace_back("mtuples_per_sec", mtps(t.total));
+    hw.emplace_back("histogram_seconds", t.histogram);
+    hw.emplace_back("scatter_seconds", t.scatter);
+    report.Result(name, hw);
   };
-  row("scalar", scalar);
-  row("fused_simd", fused);
+  row("scalar", scalar, scalar_acc.FieldsSince(bench::HwUsage()));
+  row("fused_simd", fused, fused_acc.FieldsSince(bench::HwUsage()));
   report.ResultDouble("speedup",
                       fused.total > 0 ? scalar.total / fused.total : 0.0);
   report.Print();

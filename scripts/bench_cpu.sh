@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # Measure the CPU fast paths (fused single-hash SIMD partitioning vs the
-# scalar two-pass baseline, plus the downstream radix join) and record the
+# scalar two-pass baseline, plus the downstream radix join) and the
+# affinity on/off thread-scaling sweeps (fig04 partitioning, fig11 join;
+# each row has affinity_none vs affinity_<policy> variants with hw.*
+# cache/TLB counter deltas when the host exposes a PMU), and record the
 # result as BENCH_cpu.json at the repo root. The partition config is the
-# fig04 radix setup: fanout 8192, Tuple8, one thread. Both nested documents
-# follow the fpart.obs.v1 schema (docs/observability.md); flatten with
+# fig04 radix setup: fanout 8192, Tuple8. All nested documents follow the
+# fpart.obs.v1 schema (docs/observability.md); flatten with
 # scripts/bench_to_csv.py.
 # Usage: scripts/bench_cpu.sh [build_dir] [n_tuples]
 set -eu
@@ -12,7 +15,8 @@ repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 n_tuples=${2:-16000000}
 
-for target in micro_partition ext_join_algorithms; do
+for target in micro_partition ext_join_algorithms fig04_cpu_partitioning \
+              fig11_threads; do
   if [ ! -x "$build_dir/bench/$target" ]; then
     echo "building $target in $build_dir ..." >&2
     cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >&2
@@ -26,6 +30,10 @@ out="$repo_root/BENCH_cpu.json"
   "$build_dir/bench/micro_partition" --json "$n_tuples"
   printf ',\n"join":\n'
   "$build_dir/bench/ext_join_algorithms" --json
+  printf ',\n"fig04_affinity":\n'
+  "$build_dir/bench/fig04_cpu_partitioning" --json "$n_tuples"
+  printf ',\n"fig11_affinity":\n'
+  "$build_dir/bench/fig11_threads" --json
   printf '}\n'
 } > "$out.tmp"
 mv "$out.tmp" "$out"

@@ -7,12 +7,17 @@ Two input formats are recognized automatically:
   `--json` output; see docs/observability.md). Every document becomes
   <outdir>/<benchmark>.csv with the columns
 
-      section,name,field,value
+      section,name,field,value,threads,affinity
 
   where section is config/results/metrics, name the knob / measurement /
-  metric name, and field the sub-field (e.g. "seconds", "p99", or "" for
-  scalars). Wrapper objects that nest several documents (bench_cpu.sh
-  emits {"partition": {...}, "join": {...}}) are unpacked.
+  metric name, and field the sub-field (e.g. "seconds", "p99",
+  "hw.scatter.llc_misses", or "" for scalars). For the affinity-sweep
+  result rows (named like "radix_t4_affinity_numa-local") the trailing
+  threads/affinity columns carry the decomposed thread count and pinning
+  policy so plots can pivot on them directly; they are empty elsewhere.
+  Wrapper objects that nest several documents (bench_cpu.sh emits
+  {"partition": {...}, "join": {...}, "fig04_affinity": {...}, ...}) are
+  unpacked.
 
 * Legacy text tables from `for b in build/bench/*; do $b; done`: each
   `======== <name>` section is written to <outdir>/<name>.txt verbatim and
@@ -55,23 +60,32 @@ def iter_obs_documents(doc):
             yield value.get("benchmark", key), value
 
 
+# Affinity-sweep row names: "<variant>_t<threads>_affinity_<policy>".
+AFFINITY_ROW_RE = re.compile(r"_t(\d+)_affinity_([a-z_-]+)$")
+
+
 def flatten_obs(doc):
-    """Yield (section, name, field, value) rows of one fpart.obs.v1 doc."""
+    """Yield (section, name, field, value, threads, affinity) rows of one
+    fpart.obs.v1 doc. threads/affinity are decomposed from affinity-sweep
+    result row names and empty everywhere else."""
     for name, value in doc.get("config", {}).items():
-        yield "config", name, "", value
+        yield "config", name, "", value, "", ""
     for name, value in doc.get("results", {}).items():
+        m = AFFINITY_ROW_RE.search(name)
+        threads = m.group(1) if m else ""
+        affinity = m.group(2) if m else ""
         if isinstance(value, dict):
             for field, v in value.items():
-                yield "results", name, field, v
+                yield "results", name, field, v, threads, affinity
         else:
-            yield "results", name, "", value
+            yield "results", name, "", value, threads, affinity
     for name, value in doc.get("metrics", {}).items():
         if not isinstance(value, dict):
             continue
         for field, v in value.items():
             if field in ("type", "unit"):
                 continue
-            yield "metrics", name, field, v
+            yield "metrics", name, field, v, "", ""
 
 
 def write_obs_csv(docs, outdir):
@@ -79,9 +93,9 @@ def write_obs_csv(docs, outdir):
     for label, doc in docs:
         path = os.path.join(outdir, f"{label}.csv")
         with open(path, "w") as f:
-            f.write("section,name,field,value\n")
-            for section, name, field, value in flatten_obs(doc):
-                f.write(f"{section},{name},{field},{value}\n")
+            f.write("section,name,field,value,threads,affinity\n")
+            for section, name, field, value, threads, aff in flatten_obs(doc):
+                f.write(f"{section},{name},{field},{value},{threads},{aff}\n")
         written += 1
     return written
 

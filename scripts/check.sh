@@ -64,6 +64,11 @@ run_tsan_suite() {
   FPART_SCALE=0.0625 "$build_dir/bench/ext_service" --json \
     --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 \
     --sim_mode analytical --sim_cache 1 --xcheck 0.05 > /dev/null
+  echo "=== tsan ext_service pinned-workers + warmup smoke ===" >&2
+  FPART_SCALE=0.0625 FPART_AFFINITY=compact \
+    "$build_dir/bench/ext_service" --json \
+    --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 \
+    --sim_mode analytical --sim_cache 1 --sim_cache_warmup 1 > /dev/null
 }
 
 for suite in $suites; do

@@ -16,10 +16,23 @@ Usage: python3 scripts/check_bench_schema.py [--bindir build/bench]
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 
 ENVELOPE_KEYS = ["schema", "benchmark", "config", "results", "metrics"]
+
+# The pinning policies ParseAffinityPolicy accepts (canonical spellings —
+# AffinityPolicyName output). Any other value in a config "affinity" field
+# is a bug in the emitting bench.
+VALID_AFFINITY = {"none", "compact", "scatter", "numa-local"}
+
+# Hardware counter keys (obs/perf_counters.h): per-phase perf_event deltas.
+# They appear both as registry metrics and as per-row result fields, and
+# only when the host exposes a PMU — absence is fine, garbage names are not.
+HW_KEY_RE = re.compile(
+    r"^hw\.(histogram|scatter)\."
+    r"(cycles|instructions|llc_misses|dtlb_misses)$")
 
 EXT_SERVICE_METRICS = [
     "svc.jobs.submitted", "svc.jobs.completed",
@@ -50,7 +63,17 @@ CASES = [
      ["cpu.partition.runs", "cpu.partition.tuples",
       "cpu.partition.histogram_us",
       "cpu.partition.scatter_us"],
-     []),
+     ["affinity", "hw_counters"]),
+    # Affinity sweep benches: every row carries an affinity_none vs
+    # affinity_<policy> variant; hw.* fields ride along when a PMU exists.
+    ("fig04_cpu_partitioning", "fig04_cpu_partitioning",
+     ["--json", "400000"],
+     ["cpu.partition.runs", "cpu.partition.histogram_us",
+      "cpu.partition.scatter_us"],
+     ["affinity", "hw_counters", "num_nodes"]),
+    ("fig11_threads", "fig11_threads", ["--json"],
+     ["join.radix.runs", "join.matches", "cpu.partition.runs"],
+     ["affinity", "hw_counters", "num_nodes"]),
     ("ext_join_algorithms", "ext_join_algorithms", ["--json"],
      ["join.radix.runs", "join.matches",
       "cpu.partition.runs"],
@@ -59,18 +82,20 @@ CASES = [
      ["--json", "--jobs", "2000", "--clients", "4",
       "--fpga_devices", "2", "--classes", "8,3,1"],
      EXT_SERVICE_METRICS,
-     ["sim_mode", "sim_cache", "xcheck"]),
+     ["sim_mode", "sim_cache", "sim_cache_warmup", "xcheck", "affinity"]),
     # The analytical backend with memoization and cross-checking: the run
     # must additionally publish the cache counters and the model-error
-    # histogram (xcheck = 1 so the sample is never empty).
+    # histogram (xcheck = 1 so the sample is never empty). Warmup pre-runs
+    # every job shape, so the "warmup" result row must be present.
     ("ext_service_analytical", "ext_service",
      ["--json", "--jobs", "2000", "--clients", "4",
       "--fpga_devices", "2", "--classes", "8,3,1",
-      "--sim_mode", "analytical", "--sim_cache", "1", "--xcheck", "1"],
+      "--sim_mode", "analytical", "--sim_cache", "1", "--xcheck", "1",
+      "--sim_cache_warmup", "1"],
      EXT_SERVICE_METRICS + ["sim.cache.hits", "sim.cache.misses",
                             "sim.cache.entries", "sim.cache.bytes",
                             "sim.analytical.error_pct"],
-     ["sim_mode", "sim_cache", "xcheck"]),
+     ["sim_mode", "sim_cache", "sim_cache_warmup", "xcheck", "affinity"]),
 ]
 
 # Result-object keys ext_service must report per priority class and per
@@ -119,6 +144,38 @@ def validate(name: str, doc: dict, expected_metrics,
         if ckey not in doc["config"]:
             fail(f"{name}: documented config key '{ckey}' missing "
                  f"(have: {sorted(doc['config'])})")
+    # Affinity and hw.* validation applies to every document that carries
+    # them, whichever bench emitted it.
+    affinity = doc["config"].get("affinity")
+    if affinity is not None and affinity not in VALID_AFFINITY:
+        fail(f"{name}: unknown affinity value {affinity!r} "
+             f"(expected one of {sorted(VALID_AFFINITY)})")
+    hw_cfg = doc["config"].get("hw_counters")
+    if hw_cfg is not None and hw_cfg not in ("available", "unavailable"):
+        fail(f"{name}: hw_counters must be available|unavailable, "
+             f"got {hw_cfg!r}")
+    hw_fields = 0
+    for rname, robj in doc["results"].items():
+        if not isinstance(robj, dict):
+            continue
+        for fkey, fval in robj.items():
+            if not fkey.startswith("hw."):
+                continue
+            if not HW_KEY_RE.match(fkey):
+                fail(f"{name}: result {rname} has malformed hw key "
+                     f"'{fkey}'")
+            if not isinstance(fval, (int, float)) or fval < 0:
+                fail(f"{name}: result {rname} hw key '{fkey}' must be a "
+                     f"non-negative number, got {fval!r}")
+            hw_fields += 1
+    for mname in metrics:
+        if mname.startswith("hw.") and not HW_KEY_RE.match(mname):
+            fail(f"{name}: malformed hw metric name '{mname}'")
+    # Counters absent when the PMU is absent, present when it is not —
+    # never half-emitted.
+    if hw_cfg == "unavailable" and hw_fields > 0:
+        fail(f"{name}: hw_counters=unavailable but {hw_fields} hw.* "
+             f"result fields present")
     if name.startswith("ext_service"):
         for rkey in EXT_SERVICE_RESULT_KEYS:
             if rkey not in doc["results"]:
@@ -130,6 +187,11 @@ def validate(name: str, doc: dict, expected_metrics,
                           "weight_share"):
                 if field not in obj:
                     fail(f"{name}: class_{cls} lacks '{field}'")
+        if doc["config"].get("sim_cache_warmup") == 1:
+            warm = doc["results"].get("warmup")
+            if not isinstance(warm, dict) or "runs" not in warm:
+                fail(f"{name}: sim_cache_warmup=1 but no warmup result "
+                     f"row with a 'runs' field")
 
 
 def main() -> int:

@@ -5,8 +5,12 @@
 #include <cstring>
 #include <string>
 
+#include "common/topology.h"
+
 #if defined(__linux__)
 #include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
 #endif
 
 namespace fpart {
@@ -18,14 +22,57 @@ namespace {
 // DTLB entries — a TLB miss per cache-line flush. 2 MB pages cover a
 // 128 MB output with 64 entries.
 constexpr size_t kHugePageSize = 2 * 1024 * 1024;
+
+#if defined(__linux__)
+// mbind(2) via raw syscall: glibc only exposes it through libnuma, which
+// we do not depend on. Policy constants from <numaif.h>.
+constexpr int kMpolPreferred = 1;
+constexpr int kMpolInterleave = 3;
+
+// Apply a NUMA policy to [p, p+len) before any page is touched. Advisory:
+// failures (old kernels, cpusets, seccomp) are ignored and the region
+// falls back to the default first-touch policy.
+void BindRegion(void* p, size_t len, NumaPlacement placement, int node) {
+  const size_t num_nodes = Topology::Host().num_nodes();
+  if (placement == NumaPlacement::kDefault || num_nodes <= 1) return;
+  unsigned long mask = 0;
+  int mode = 0;
+  if (placement == NumaPlacement::kNode) {
+    if (node < 0 || static_cast<size_t>(node) >= num_nodes) node = 0;
+    mask = 1UL << node;
+    mode = kMpolPreferred;
+  } else {  // kInterleave
+    mask = (num_nodes >= sizeof(mask) * 8) ? ~0UL : ((1UL << num_nodes) - 1);
+    mode = kMpolInterleave;
+  }
+  // maxnode counts bits and must exceed the highest set bit.
+  syscall(SYS_mbind, p, len, mode, &mask, sizeof(mask) * 8 + 1, 0UL);
+}
+#endif
 }  // namespace
 
 Result<AlignedBuffer> AlignedBuffer::Allocate(size_t size, size_t alignment) {
+  AllocateOptions options;
+  options.alignment = alignment;
+  return AllocateWith(size, options);
+}
+
+Result<AlignedBuffer> AlignedBuffer::AllocateWith(
+    size_t size, const AllocateOptions& options) {
+  size_t alignment = options.alignment;
   if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
     return Status::InvalidArgument("alignment must be a power of two");
   }
   AlignedBuffer buf;
   if (size == 0) return buf;
+#if defined(__linux__)
+  // mbind requires page-aligned regions; NUMA placement below cache-line
+  // granularity is meaningless anyway.
+  if (options.placement != NumaPlacement::kDefault) {
+    alignment = std::max<size_t>(alignment,
+                                 static_cast<size_t>(sysconf(_SC_PAGESIZE)));
+  }
+#endif
   // Round the size up to a multiple of the alignment, as required by
   // std::aligned_alloc and convenient for whole-cache-line transfers.
   size_t alloc_size = (size + alignment - 1) & ~(alignment - 1);
@@ -42,11 +89,14 @@ Result<AlignedBuffer> AlignedBuffer::Allocate(size_t size, size_t alignment) {
                                  std::to_string(alloc_size) + " bytes");
   }
 #if defined(__linux__)
-  // Advisory only: the memset below then populates the region with huge
-  // pages where the kernel can supply them.
+  // Advisory only: the first touch below (or by the caller, when zeroing
+  // is deferred) then populates the region with huge pages where the
+  // kernel can supply them.
   if (huge) madvise(p, alloc_size, MADV_HUGEPAGE);
+  // Policy must be in place before the first touch commits the pages.
+  BindRegion(p, alloc_size, options.placement, options.node);
 #endif
-  std::memset(p, 0, alloc_size);
+  if (options.zero) std::memset(p, 0, alloc_size);
   buf.data_ = static_cast<uint8_t*>(p);
   buf.size_ = size;
   return buf;

@@ -12,17 +12,42 @@
 
 namespace fpart {
 
+/// Where a buffer's pages should land on a multi-node host. All modes are
+/// no-ops on single-node machines and on platforms without mbind.
+enum class NumaPlacement {
+  kDefault,     ///< whatever the kernel's default policy gives (first touch)
+  kNode,        ///< prefer one NUMA node (AllocateOptions::node)
+  kInterleave,  ///< interleave pages across all nodes (shared inputs)
+};
+
 /// \brief An owning, cache-line aligned region of memory.
 ///
 /// The buffer is zero-initialized on allocation (like the 4 MB pages the
-/// Intel API hands out on the Xeon+FPGA platform, Section 2.1).
+/// Intel API hands out on the Xeon+FPGA platform, Section 2.1) unless the
+/// caller opts into first-touch placement with `zero = false`.
 class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
+  struct AllocateOptions {
+    size_t alignment = kCacheLineSize;
+    NumaPlacement placement = NumaPlacement::kDefault;
+    /// Preferred node for NumaPlacement::kNode.
+    int node = 0;
+    /// When false the region is left untouched (no memset): the caller
+    /// promises to write every page before reading it, so the kernel's
+    /// first-touch policy places each page on the node of the thread that
+    /// touches it — the NUMA-local idiom for per-worker scratch.
+    bool zero = true;
+  };
+
   /// Allocate `size` bytes aligned to `alignment` (default one cache line).
   static Result<AlignedBuffer> Allocate(size_t size,
                                         size_t alignment = kCacheLineSize);
+
+  /// Allocate with explicit NUMA placement / first-touch control.
+  static Result<AlignedBuffer> AllocateWith(size_t size,
+                                            const AllocateOptions& options);
 
   uint8_t* data() { return data_; }
   const uint8_t* data() const { return data_; }

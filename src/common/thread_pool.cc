@@ -1,9 +1,12 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #if defined(__linux__)
 #include <pthread.h>
+#include <sched.h>
 #endif
 
 namespace fpart {
@@ -22,15 +25,45 @@ void NameCurrentThread(const std::string& prefix, size_t index) {
 #endif
 }
 
+// Pin an already-running thread to one CPU; false when unsupported or
+// rejected (the worker then simply stays where the OS put it).
+bool PinThreadHandle(std::thread& t, int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(t.native_handle(), sizeof(set), &set) == 0;
+#else
+  (void)t;
+  (void)cpu;
+  return false;
+#endif
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads, const std::string& name)
-    : name_(name) {
+ThreadPool::ThreadPool(size_t num_threads, const std::string& name,
+                       AffinityPolicy affinity)
+    : name_(name), affinity_(affinity) {
   if (num_threads == 0) num_threads = 1;
+  plan_ = Topology::Host().PinPlan(affinity_, num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
+    if (PinThreadHandle(threads_.back(), plan_[i].cpu)) {
+      ++pinned_workers_;
+    } else {
+      plan_[i].cpu = -1;  // record that this worker runs unpinned
+    }
   }
+  // Release the workers only once every pin result is recorded: WorkerLoop
+  // reads plan_[index], which the loop above may rewrite.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  cv_task_.notify_all();
 }
 
 ThreadPool::~ThreadPool() {
@@ -72,8 +105,63 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   WaitIdle();
 }
 
+void ThreadPool::ParallelForNodeChunks(
+    size_t total,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t n = threads_.size();
+  if (n == 1 || total == 0) {
+    fn(0, 0, total);
+    return;
+  }
+
+  // Chunk c covers [total*c/n, total*(c+1)/n) and carries the node tag of
+  // worker c in the pin plan; under kNumaLocal the plan is node-major, so
+  // each node's chunks form one contiguous slab of the input.
+  struct Shared {
+    std::vector<std::atomic<bool>> claimed;
+    explicit Shared(size_t n) : claimed(n) {
+      for (auto& c : claimed) c.store(false, std::memory_order_relaxed);
+    }
+  };
+  auto shared = std::make_shared<Shared>(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    Submit([this, shared, total, n, &fn] {
+      const int my_node = CurrentWorkerContext().node;
+      // Two passes: own-node chunks first, then steal anything unclaimed.
+      // Each task claims exactly one chunk; n tasks + n chunks means every
+      // chunk is run exactly once regardless of which worker runs which
+      // task.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t c = 0; c < n; ++c) {
+          if (pass == 0 && plan_[c].node != my_node) continue;
+          bool expected = false;
+          if (shared->claimed[c].compare_exchange_strong(
+                  expected, true, std::memory_order_acq_rel)) {
+            fn(c, total * c / n, total * (c + 1) / n);
+            return;
+          }
+        }
+      }
+    });
+  }
+  WaitIdle();
+}
+
 void ThreadPool::WorkerLoop(size_t index) {
   NameCurrentThread(name_, index);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_task_.wait(lock, [this] { return started_ || shutdown_; });
+  }
+  {
+    WorkerContext ctx;
+    ctx.worker = static_cast<int>(index);
+    ctx.node = plan_[index].node;
+    ctx.cpu = plan_[index].cpu;
+    ctx.pool = name_.c_str();  // name_ is immutable for the pool's lifetime
+    SetCurrentWorkerContext(ctx);
+  }
   for (;;) {
     std::function<void()> task;
     {

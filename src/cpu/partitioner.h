@@ -21,11 +21,13 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/topology.h"
 #include "datagen/partitioned_output.h"
 #include "datagen/tuple.h"
 #include "hash/hash_function.h"
 #include "hash/simd_hash.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 #if defined(__SSE2__)
@@ -65,6 +67,10 @@ struct CpuPartitionerConfig {
   uint32_t prefetch_distance = 0;
   /// Optional shared pool; a private one is created per call when null.
   ThreadPool* pool = nullptr;
+  /// Worker pinning policy for the private pool (ignored when `pool` is
+  /// set — a shared pool was built with its own policy). Defaults to the
+  /// process-wide FPART_AFFINITY knob.
+  AffinityPolicy affinity = AffinityPolicyFromEnv();
   /// Cooperative cancellation token (svc job cancellation). Checked at
   /// phase boundaries only — never inside the per-tuple loops — so a
   /// running phase always completes before the run aborts with
@@ -469,7 +475,8 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
   std::unique_ptr<ThreadPool> own_pool;
   ThreadPool* pool = config.pool;
   if (pool == nullptr && num_threads > 1) {
-    own_pool = std::make_unique<ThreadPool>(num_threads);
+    own_pool =
+        std::make_unique<ThreadPool>(num_threads, "fpart-wkr", config.affinity);
     pool = own_pool.get();
   }
 
@@ -483,21 +490,49 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
   // Fused fast path: the partition index of every tuple is computed once
   // in phase 1 and replayed in phase 2 from this scratch. Indices are
   // uint16_t up to 64Ki partitions so the scratch streams at 2 B/tuple.
+  // The buffer is allocated untouched and first-touched below by the same
+  // per-thread chunks the phases use, so with pinned workers each page
+  // lands on the NUMA node of the worker that will write and read it —
+  // and the page faults stay out of the timed region either way.
   const bool fused = config.use_simd && n > 0;
   const bool narrow_idx = config.fanout <= (uint32_t{1} << 16);
-  std::vector<uint16_t> idx16(fused && narrow_idx ? n : 0);
-  std::vector<uint32_t> idx32(fused && !narrow_idx ? n : 0);
+  const size_t idx_elem = narrow_idx ? sizeof(uint16_t) : sizeof(uint32_t);
+  AlignedBuffer idx_buf;
+  uint16_t* idx16 = nullptr;
+  uint32_t* idx32 = nullptr;
+  if (fused) {
+    AlignedBuffer::AllocateOptions idx_opts;
+    idx_opts.zero = false;  // first-touched just below
+    FPART_ASSIGN_OR_RETURN(idx_buf,
+                           AlignedBuffer::AllocateWith(n * idx_elem, idx_opts));
+    if (narrow_idx) {
+      idx16 = idx_buf.mutable_data_as<uint16_t>();
+    } else {
+      idx32 = idx_buf.mutable_data_as<uint32_t>();
+    }
+    auto touch_chunk = [&](size_t t) {
+      const size_t begin = chunk_begin(t), end = chunk_begin(t + 1);
+      std::memset(idx_buf.data() + begin * idx_elem, 0,
+                  (end - begin) * idx_elem);
+    };
+    if (num_threads == 1) {
+      touch_chunk(0);
+    } else {
+      pool->ParallelFor(num_threads, touch_chunk);
+    }
+  }
 
   Timer timer;
   // --- Phase 1: histograms (fused path also records partition indices).
   auto histogram_chunk = [&](size_t t) {
+    obs::HwPhaseScope hw("histogram");
     const size_t begin = chunk_begin(t), end = chunk_begin(t + 1);
     if (!fused) {
       BuildHistogram(fn, tuples, begin, end, hist[t].data());
     } else if (narrow_idx) {
-      FusedHistogram(fn, tuples, begin, end, hist[t].data(), idx16.data());
+      FusedHistogram(fn, tuples, begin, end, hist[t].data(), idx16);
     } else {
-      FusedHistogram(fn, tuples, begin, end, hist[t].data(), idx32.data());
+      FusedHistogram(fn, tuples, begin, end, hist[t].data(), idx32);
     }
   };
   double hist_seconds;
@@ -540,14 +575,15 @@ Result<CpuRunResult<T>> CpuPartition(const CpuPartitionerConfig& config,
   // --- Phase 2: synchronization-free scatter.
   Timer scatter_timer;
   auto scatter_chunk = [&](size_t t) {
+    obs::HwPhaseScope hw("scatter");
     const size_t begin = chunk_begin(t), end = chunk_begin(t + 1);
     if (!fused) {
       Scatter(fn, tuples, begin, end, cursor[t].data(), out_base, config);
     } else if (narrow_idx) {
-      ScatterFused(tuples, begin, end, idx16.data(), config.fanout,
+      ScatterFused(tuples, begin, end, idx16, config.fanout,
                    cursor[t].data(), out_base, config);
     } else {
-      ScatterFused(tuples, begin, end, idx32.data(), config.fanout,
+      ScatterFused(tuples, begin, end, idx32, config.fanout,
                    cursor[t].data(), out_base, config);
     }
   };

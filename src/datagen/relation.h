@@ -13,6 +13,11 @@
 namespace fpart {
 
 /// \brief A row-store relation: contiguous, cache-line aligned tuples.
+///
+/// On multi-node hosts the backing pages are interleaved across all NUMA
+/// nodes: a relation is read by workers on every node, so interleaving
+/// spreads the read bandwidth instead of hammering the node the (serial)
+/// generator thread happened to run on. No-op on single-node hosts.
 template <typename T>
 class Relation {
  public:
@@ -20,8 +25,11 @@ class Relation {
 
   static Result<Relation<T>> Allocate(size_t num_tuples) {
     Relation<T> rel;
-    FPART_ASSIGN_OR_RETURN(rel.buffer_,
-                           AlignedBuffer::Allocate(num_tuples * sizeof(T)));
+    AlignedBuffer::AllocateOptions opts;
+    opts.placement = NumaPlacement::kInterleave;
+    FPART_ASSIGN_OR_RETURN(
+        rel.buffer_,
+        AlignedBuffer::AllocateWith(num_tuples * sizeof(T), opts));
     rel.size_ = num_tuples;
     return rel;
   }
@@ -55,10 +63,14 @@ class ColumnRelation {
 
   static Result<ColumnRelation> Allocate(size_t num_tuples) {
     ColumnRelation rel;
-    FPART_ASSIGN_OR_RETURN(rel.keys_,
-                           AlignedBuffer::Allocate(num_tuples * sizeof(KeyT)));
+    AlignedBuffer::AllocateOptions opts;
+    opts.placement = NumaPlacement::kInterleave;
     FPART_ASSIGN_OR_RETURN(
-        rel.payloads_, AlignedBuffer::Allocate(num_tuples * sizeof(PayloadT)));
+        rel.keys_,
+        AlignedBuffer::AllocateWith(num_tuples * sizeof(KeyT), opts));
+    FPART_ASSIGN_OR_RETURN(
+        rel.payloads_,
+        AlignedBuffer::AllocateWith(num_tuples * sizeof(PayloadT), opts));
     rel.size_ = num_tuples;
     return rel;
   }

@@ -1,0 +1,187 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace fpart::obs {
+namespace {
+
+#if defined(__linux__)
+
+int PerfEventOpen(perf_event_attr* attr) {
+  return static_cast<int>(syscall(SYS_perf_event_open, attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL));
+}
+
+// Attr of event `i` (index into kHwEventNames).
+perf_event_attr EventAttr(size_t i) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.disabled = 0;
+  // Count user space only: works under perf_event_paranoid=2 (the common
+  // container default) and matches what the phase loops actually execute.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  switch (i) {
+    case 0:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case 1:
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case 2:
+      // "cache misses" on PERF_TYPE_HARDWARE is last-level cache misses.
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.config = PERF_COUNT_HW_CACHE_MISSES;
+      break;
+    case 3:
+      attr.type = PERF_TYPE_HW_CACHE;
+      attr.config = PERF_COUNT_HW_CACHE_DTLB |
+                    (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+  }
+  return attr;
+}
+
+// One-shot probe: can this process open the cycles event at all?
+bool ProbeSupported() {
+  perf_event_attr attr = EventAttr(0);
+  const int fd = PerfEventOpen(&attr);
+  if (fd < 0) return false;
+  close(fd);
+  return true;
+}
+
+#endif  // __linux__
+
+// Cached pointers to the four `hw.<phase>.<event>` registry counters of
+// each phase. Phases are a handful of fixed strings, so a tiny mutexed
+// map hit once per scope (not per tuple) is fine.
+struct PhaseCounters {
+  Counter* c[kNumHwEvents] = {};
+};
+
+const PhaseCounters& CountersForPhase(const char* phase) {
+  static std::mutex mu;
+  static std::map<std::string, PhaseCounters>* cache =
+      new std::map<std::string, PhaseCounters>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(phase);
+  if (it != cache->end()) return it->second;
+  PhaseCounters pc;
+  static const char* const kUnits[kNumHwEvents] = {"cycles", "instructions",
+                                                   "misses", "misses"};
+  static const char* const kHelp[kNumHwEvents] = {
+      "user-space CPU cycles in this phase",
+      "user-space instructions retired in this phase",
+      "last-level cache misses in this phase",
+      "dTLB load misses in this phase"};
+  for (size_t i = 0; i < kNumHwEvents; ++i) {
+    const std::string name =
+        std::string("hw.") + phase + "." + kHwEventNames[i];
+    pc.c[i] = Registry::Global().GetCounter(name, kUnits[i], kHelp[i]);
+  }
+  return cache->emplace(phase, pc).first->second;
+}
+
+}  // namespace
+
+Counter* HwPhaseCounter(const char* phase, size_t event) {
+  return CountersForPhase(phase).c[event];
+}
+
+bool HwCountersSupported() {
+#if defined(__linux__)
+  static const bool supported = [] {
+    const char* v = std::getenv("FPART_HW_COUNTERS");
+    if (v != nullptr && std::strcmp(v, "0") == 0) return false;
+    return ProbeSupported();
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  for (int& fd : fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+#endif
+}
+
+void PerfCounters::Open() {
+  opened_ = true;
+#if defined(__linux__)
+  if (!HwCountersSupported()) return;
+  for (size_t i = 0; i < kNumHwEvents; ++i) {
+    perf_event_attr attr = EventAttr(i);
+    fds_[i] = PerfEventOpen(&attr);
+    if (fds_[i] >= 0) ok_ = true;
+  }
+#endif
+}
+
+HwSample PerfCounters::Read() {
+  if (!opened_) Open();
+  HwSample sample;
+  if (!ok_) return sample;
+#if defined(__linux__)
+  uint64_t* const fields[kNumHwEvents] = {&sample.cycles, &sample.instructions,
+                                          &sample.llc_misses,
+                                          &sample.dtlb_misses};
+  for (size_t i = 0; i < kNumHwEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    uint64_t value = 0;
+    if (read(fds_[i], &value, sizeof(value)) == sizeof(value)) {
+      *fields[i] = value;
+      sample.valid = true;
+    }
+  }
+#endif
+  return sample;
+}
+
+PerfCounters& PerfCounters::ForCurrentThread() {
+  thread_local PerfCounters counters;
+  return counters;
+}
+
+HwPhaseScope::HwPhaseScope(const char* phase) : phase_(phase) {
+  if (!HwCountersSupported()) return;
+  begin_ = PerfCounters::ForCurrentThread().Read();
+}
+
+HwPhaseScope::~HwPhaseScope() {
+  if (!HwCountersSupported()) return;
+  const HwSample end = PerfCounters::ForCurrentThread().Read();
+  if (!begin_.valid || !end.valid) return;
+  const PhaseCounters& pc = CountersForPhase(phase_);
+  const uint64_t deltas[kNumHwEvents] = {
+      end.cycles - begin_.cycles, end.instructions - begin_.instructions,
+      end.llc_misses - begin_.llc_misses,
+      end.dtlb_misses - begin_.dtlb_misses};
+  for (size_t i = 0; i < kNumHwEvents; ++i) {
+    if (deltas[i] != 0) pc.c[i]->Add(deltas[i]);
+  }
+}
+
+}  // namespace fpart::obs

@@ -1,0 +1,106 @@
+// Hardware performance-counter sampling via perf_event_open.
+//
+// The paper's CPU partitioning analysis (Section 5) attributes the
+// throughput cliffs to LLC and dTLB misses; this module makes those
+// visible next to the phase timings. Each worker thread lazily opens a
+// small fixed event group (cycles, instructions, LLC misses, dTLB read
+// misses) on itself (pid=0, cpu=-1, exclude_kernel), reads deltas around
+// a phase via HwPhaseScope, and accumulates them into the sharded metrics
+// registry as `hw.<phase>.<event>` counters. Benches snapshot those
+// counters around a run and report the deltas in `fpart.obs.v1` JSON.
+//
+// Graceful degradation is a hard requirement: CI containers and VMs
+// without a PMU return ENOENT/EPERM from perf_event_open. The first
+// failed probe (or FPART_HW_COUNTERS=0) disables the whole module for
+// the process — every scope then costs two branch-predicted checks and
+// publishes nothing, so `hw.*` keys are simply absent from the output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace fpart::obs {
+
+/// One reading of the per-thread event group. Events that failed to open
+/// individually read as 0; `valid` is false when no event opened at all
+/// (the sample must then be ignored, not treated as zero work).
+struct HwSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t dtlb_misses = 0;
+  bool valid = false;
+};
+
+/// The four events, in the order bench columns use them.
+inline constexpr const char* kHwEventNames[] = {
+    "cycles", "instructions", "llc_misses", "dtlb_misses"};
+inline constexpr size_t kNumHwEvents = 4;
+
+class Counter;
+
+/// The `hw.<phase>.<kHwEventNames[event]>` registry counter (created on
+/// first use; same instance HwPhaseScope accumulates into). Benches
+/// snapshot these around a run to report per-run deltas.
+Counter* HwPhaseCounter(const char* phase, size_t event);
+
+/// Whether hardware counters are usable in this process: false when
+/// FPART_HW_COUNTERS=0, on non-Linux builds, or once a probe open has
+/// failed (no PMU, perf_event_paranoid, seccomp). Cached after the first
+/// call; cheap to call from hot paths.
+bool HwCountersSupported();
+
+/// \brief Per-thread handle on the perf event group.
+///
+/// Opened lazily on first Read() from the calling thread; each thread
+/// uses its own fds (perf events with pid=0 count the opening thread
+/// only, which is exactly what per-worker phase attribution needs).
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters();
+  FPART_DISALLOW_COPY_AND_ASSIGN(PerfCounters);
+
+  /// Current cumulative counts for this thread. sample.valid == false
+  /// when counters are unsupported; values are monotonic across calls.
+  HwSample Read();
+
+  /// The calling thread's lazily-constructed instance.
+  static PerfCounters& ForCurrentThread();
+
+ private:
+  void Open();
+
+  int fds_[kNumHwEvents] = {-1, -1, -1, -1};
+  bool opened_ = false;  // Open() attempted (regardless of outcome)
+  bool ok_ = false;      // at least one event is live
+};
+
+/// \brief RAII scope that charges the enclosed work's hardware-counter
+/// deltas to `hw.<phase>.<event>` registry counters.
+///
+/// Intended to wrap the per-worker chunk bodies of the partition phases:
+///
+///   pool->ParallelFor(t, [&](size_t w) {
+///     obs::HwPhaseScope hw("histogram");
+///     ...histogram chunk...
+///   });
+///
+/// `phase` must outlive the scope and should come from a small fixed set
+/// ("histogram", "scatter", ...): each distinct phase creates four
+/// registry counters on first use. No-op when HwCountersSupported() is
+/// false.
+class HwPhaseScope {
+ public:
+  explicit HwPhaseScope(const char* phase);
+  ~HwPhaseScope();
+  FPART_DISALLOW_COPY_AND_ASSIGN(HwPhaseScope);
+
+ private:
+  const char* phase_;
+  HwSample begin_;
+};
+
+}  // namespace fpart::obs

@@ -61,6 +61,17 @@ void BenchReport::Result(
   results_.push_back({std::string(name), std::move(out)});
 }
 
+void BenchReport::Result(
+    std::string_view name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::string out;
+  JsonWriter w(&out, 0);
+  w.BeginObject();
+  for (const auto& [key, value] : fields) w.KV(key, value);
+  w.EndObject();
+  results_.push_back({std::string(name), std::move(out)});
+}
+
 void BenchReport::ResultDouble(std::string_view name, double value) {
   results_.push_back({std::string(name), RenderDouble(value)});
 }

@@ -39,6 +39,9 @@ class BenchReport {
   void Result(std::string_view name,
               std::initializer_list<std::pair<std::string_view, double>>
                   fields);
+  /// Same, from a dynamically built field list (hw.* counter columns).
+  void Result(std::string_view name,
+              const std::vector<std::pair<std::string, double>>& fields);
   /// One scalar `results` member (e.g. "speedup").
   void ResultDouble(std::string_view name, double value);
   void ResultUInt(std::string_view name, uint64_t value);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/topology.h"
 #include "obs/json.h"
 
 namespace fpart::obs {
@@ -16,9 +17,10 @@ void Tracer::Enable() {
   events_.clear();
   sim_runs_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
+  epoch_id_.fetch_add(1, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
-  events_.push_back(Event{"process_name", "__metadata", 'M', 0.0, 0.0,
-                          kHostTracePid, 0});
+  events_.push_back(
+      Event{"host", "process_name", 'M', 0.0, 0.0, kHostTracePid, 0, ""});
 }
 
 void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
@@ -30,18 +32,26 @@ double Tracer::NowUs() const {
 }
 
 void Tracer::CompleteEvent(std::string name, const char* category,
-                           double ts_us, double dur_us, int pid, int tid) {
+                           double ts_us, double dur_us, int pid, int tid,
+                           std::string args) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(
-      Event{std::move(name), category, 'X', ts_us, dur_us, pid, tid});
+  events_.push_back(Event{std::move(name), category, 'X', ts_us, dur_us, pid,
+                          tid, std::move(args)});
 }
 
 void Tracer::NameProcess(int pid, std::string name) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(
-      Event{std::move(name), "__metadata", 'M', 0.0, 0.0, pid, 0});
+      Event{std::move(name), "process_name", 'M', 0.0, 0.0, pid, 0, ""});
+}
+
+void Tracer::NameThread(int pid, int tid, std::string name) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      Event{std::move(name), "thread_name", 'M', 0.0, 0.0, pid, tid, ""});
 }
 
 std::string Tracer::ToJson() const {
@@ -54,13 +64,13 @@ std::string Tracer::ToJson() const {
   for (const Event& e : events_) {
     w.BeginObject();
     if (e.phase == 'M') {
-      w.KV("name", "process_name");
+      w.KV("name", e.category);  // "process_name" or "thread_name"
       w.KV("ph", "M");
       w.KV("pid", e.pid);
       w.KV("tid", e.tid);
       w.Key("args");
       w.BeginObject();
-      w.KV("name", e.name == "process_name" ? std::string("host") : e.name);
+      w.KV("name", e.name);
       w.EndObject();
     } else {
       w.KV("name", e.name);
@@ -70,6 +80,10 @@ std::string Tracer::ToJson() const {
       w.KV("dur", e.dur_us);
       w.KV("pid", e.pid);
       w.KV("tid", e.tid);
+      if (!e.args.empty()) {
+        w.Key("args");
+        w.Raw(e.args);
+      }
     }
     w.EndObject();
   }
@@ -96,6 +110,33 @@ Status Tracer::WriteFile(const std::string& path) const {
 size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  Tracer& t = Tracer::Global();
+  const double end_us = t.NowUs();
+  const int tid = CurrentTraceTid();
+  const WorkerContext& ctx = CurrentWorkerContext();
+  std::string args;
+  if (ctx.worker >= 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"worker\":%d,\"node\":%d,\"cpu\":%d}",
+                  ctx.worker, ctx.node, ctx.cpu);
+    args = buf;
+    // Label this worker's timeline once per recording: "<pool>/<idx> nN".
+    thread_local uint64_t named_epoch = 0;
+    const uint64_t epoch = t.epoch_id();
+    if (named_epoch != epoch) {
+      named_epoch = epoch;
+      std::snprintf(buf, sizeof(buf), "%s/%d n%d",
+                    ctx.pool != nullptr ? ctx.pool : "worker", ctx.worker,
+                    ctx.node);
+      t.NameThread(kHostTracePid, tid, buf);
+    }
+  }
+  t.CompleteEvent(name_, category_, start_us_, end_us - start_us_,
+                  kHostTracePid, tid, std::move(args));
 }
 
 void AddSimRunTrace(uint64_t cycles, uint64_t histogram_cycles,

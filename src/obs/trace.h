@@ -54,11 +54,22 @@ class Tracer {
   /// Microseconds of host wall time since Enable().
   double NowUs() const;
 
-  /// Append one complete ("ph":"X") event. No-op while disabled.
+  /// Append one complete ("ph":"X") event. `args`, when non-empty, is a
+  /// pre-rendered JSON object emitted verbatim as the event's "args" (used
+  /// for worker/node/cpu attribution). No-op while disabled.
   void CompleteEvent(std::string name, const char* category, double ts_us,
-                     double dur_us, int pid, int tid);
+                     double dur_us, int pid, int tid, std::string args = "");
   /// Append a process_name metadata event. No-op while disabled.
   void NameProcess(int pid, std::string name);
+  /// Append a thread_name metadata event (labels `tid` on pid's timeline).
+  /// No-op while disabled.
+  void NameThread(int pid, int tid, std::string name);
+
+  /// Incremented by every Enable(): lets per-thread caches (the once-per-
+  /// epoch thread_name emission in TraceSpan) detect a new recording.
+  uint64_t epoch_id() const {
+    return epoch_id_.load(std::memory_order_relaxed);
+  }
 
   /// Reserve a fresh pid for one simulated run's timeline.
   int NextSimPid() {
@@ -77,15 +88,17 @@ class Tracer {
  private:
   struct Event {
     std::string name;
-    const char* category;  // static string
+    const char* category;  // static string; for 'M' events: metadata kind
     char phase;            // 'X' or 'M'
     double ts_us;
     double dur_us;
     int pid;
     int tid;
+    std::string args;  // pre-rendered JSON object, "" = none
   };
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> epoch_id_{0};
   std::atomic<int> sim_runs_{0};
   std::chrono::steady_clock::time_point epoch_{};
   mutable std::mutex mu_;
@@ -94,6 +107,11 @@ class Tracer {
 
 /// \brief RAII host-timeline span: records one complete event covering the
 /// scope's lifetime on the current thread. Near-free when tracing is off.
+///
+/// Spans emitted from a pool worker (ThreadPool publishes a WorkerContext)
+/// carry `{"worker":i,"node":n,"cpu":c}` args and, once per recording
+/// epoch, a thread_name metadata event naming the worker's timeline — so
+/// per-core partitioning phases are attributable in the trace viewer.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "host")
@@ -102,12 +120,7 @@ class TraceSpan {
         armed_(Tracer::Global().enabled()),
         start_us_(armed_ ? Tracer::Global().NowUs() : 0.0) {}
 
-  ~TraceSpan() {
-    if (!armed_) return;
-    Tracer& t = Tracer::Global();
-    t.CompleteEvent(name_, category_, start_us_, t.NowUs() - start_us_,
-                    kHostTracePid, CurrentTraceTid());
-  }
+  ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;

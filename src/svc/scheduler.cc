@@ -202,10 +202,12 @@ Scheduler::Scheduler(SchedulerConfig config)
     worker_pools_.resize(config_.num_workers);
     for (size_t w = 0; w < config_.num_workers; ++w) {
       worker_pools_[w] = std::make_unique<ThreadPool>(
-          config_.cpu_threads_per_job, config_.name + "-j" +
-                                           std::to_string(w));
+          config_.cpu_threads_per_job,
+          config_.name + "-j" + std::to_string(w), config_.affinity);
     }
   }
+  worker_pins_ = Topology::Host().PinPlan(config_.affinity,
+                                          config_.num_workers);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
   workers_.reserve(config_.num_workers);
   for (size_t w = 0; w < config_.num_workers; ++w) {
@@ -476,6 +478,18 @@ void Scheduler::DispatcherLoop() {
 
 void Scheduler::WorkerLoop(size_t index) {
   NameCurrentThread(config_.name + "-wkr", index);
+  {
+    // Pin the job worker itself (its pool, if any, was pinned by its own
+    // constructor) and publish its identity for trace attribution.
+    const Topology::Pin& pin = worker_pins_[index];
+    const bool pinned = PinCurrentThreadToCpu(pin.cpu);
+    WorkerContext ctx;
+    ctx.worker = static_cast<int>(index);
+    ctx.node = pin.node;
+    ctx.cpu = pinned ? pin.cpu : -1;
+    ctx.pool = config_.name.c_str();
+    SetCurrentWorkerContext(ctx);
+  }
   for (;;) {
     std::shared_ptr<JobRecord> rec;
     {

@@ -99,6 +99,11 @@ struct SchedulerConfig {
   /// Construct with the dispatcher held; jobs queue until Resume(). Lets
   /// tests stage admission-control and cancellation scenarios.
   bool start_paused = false;
+  /// Worker-thread pinning policy: applied to the `num_workers` job
+  /// workers and inherited by the per-worker pools. Defaults to the
+  /// process-wide FPART_AFFINITY knob. Placement and virtual-time replay
+  /// are unaffected by pinning, so the determinism hash is too.
+  AffinityPolicy affinity = AffinityPolicyFromEnv();
   /// Thread-name prefix of the dispatcher/worker threads.
   std::string name = "svc";
 };
@@ -212,6 +217,8 @@ class Scheduler {
 
   std::thread dispatcher_;
   std::vector<std::thread> workers_;
+  /// Pin plan of the job workers under config_.affinity (index = worker).
+  std::vector<Topology::Pin> worker_pins_;
   /// Per-worker pools when cpu_threads_per_job > 1 (index = worker).
   std::vector<std::unique_ptr<ThreadPool>> worker_pools_;
 };

@@ -4,13 +4,16 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #if defined(__linux__)
 #include <pthread.h>
+#include <sched.h>
 #endif
 
 #include "common/aligned_buffer.h"
@@ -18,6 +21,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "common/topology.h"
 
 namespace fpart {
 namespace {
@@ -257,6 +261,126 @@ TEST(ThreadPoolTest, WorkersAreNamed) {
   EXPECT_EQ(worker_name.substr(0, 12), "tp-name-test");
 }
 #endif
+
+TEST(ThreadPoolTest, NoneAffinityLeavesWorkersUnpinned) {
+  ThreadPool pool(3, "tp-none", AffinityPolicy::kNone);
+  EXPECT_EQ(pool.affinity(), AffinityPolicy::kNone);
+  EXPECT_EQ(pool.pinned_workers(), 0u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pool.worker_cpu(i), -1) << "worker " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PinMaskHonoredWhenSupported) {
+  // Per-worker contract: worker_cpu(i) >= 0 only when the kernel accepted
+  // the pin, and such a worker must actually run with exactly that
+  // single-CPU mask. Rejected pins fall back cleanly to -1/unrestricted
+  // (which is all that can be asserted on hosts without affinity support).
+  ThreadPool pool(2, "tp-pin", AffinityPolicy::kCompact);
+  EXPECT_EQ(pool.affinity(), AffinityPolicy::kCompact);
+  EXPECT_LE(pool.pinned_workers(), 2u);
+  std::mutex mu;
+  bool mask_ok = true;
+  pool.ParallelFor(4, [&](size_t) {
+    const WorkerContext& ctx = CurrentWorkerContext();
+#if defined(__linux__)
+    if (ctx.cpu >= 0) {
+      cpu_set_t set;
+      CPU_ZERO(&set);
+      const bool ok = sched_getaffinity(0, sizeof(set), &set) == 0 &&
+                      CPU_COUNT(&set) == 1 &&
+                      CPU_ISSET(static_cast<unsigned>(ctx.cpu), &set);
+      std::lock_guard<std::mutex> lock(mu);
+      mask_ok = mask_ok && ok;
+    }
+#else
+    (void)ctx;
+#endif
+  });
+  EXPECT_TRUE(mask_ok);
+#if !defined(__linux__)
+  EXPECT_EQ(pool.pinned_workers(), 0u);  // clean fallback: nothing pinned
+#endif
+}
+
+TEST(ThreadPoolTest, WorkersPublishContext) {
+  ThreadPool pool(2, "tp-ctx", AffinityPolicy::kCompact);
+  std::mutex mu;
+  bool ctx_ok = true;
+  pool.ParallelFor(8, [&](size_t) {
+    const WorkerContext& ctx = CurrentWorkerContext();
+    const bool ok = ctx.worker >= 0 && ctx.worker < 2 &&
+                    pool.worker_cpu(ctx.worker) == ctx.cpu &&
+                    pool.worker_node(ctx.worker) == ctx.node &&
+                    ctx.pool != nullptr &&
+                    std::string(ctx.pool) == "tp-ctx";
+    std::lock_guard<std::mutex> lock(mu);
+    ctx_ok = ctx_ok && ok;
+  });
+  EXPECT_TRUE(ctx_ok);
+}
+
+TEST(ThreadPoolTest, NodeChunksCoverRangeExactlyOnce) {
+  // n workers, n chunks: every element of [0, total) must be visited by
+  // exactly one chunk, whichever workers end up claiming or stealing.
+  ThreadPool pool(4, "tp-chunks", AffinityPolicy::kNone);
+  const size_t total = 1003;  // deliberately not a multiple of 4
+  std::vector<std::atomic<int>> hits(total);
+  std::atomic<size_t> chunks{0};
+  pool.ParallelForNodeChunks(total, [&](size_t, size_t begin, size_t end) {
+    chunks.fetch_add(1);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 4u);
+  for (size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "element " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NodeChunksRunEachChunkIdOnce) {
+  ThreadPool pool(3, "tp-chunkid", AffinityPolicy::kCompact);
+  std::mutex mu;
+  std::set<size_t> seen;
+  std::vector<std::pair<size_t, size_t>> ranges(3);
+  pool.ParallelForNodeChunks(300, [&](size_t c, size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(c).second) << "chunk " << c << " ran twice";
+    if (c < ranges.size()) ranges[c] = {b, e};
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>(0, 100)));
+  EXPECT_EQ(ranges[1], (std::pair<size_t, size_t>(100, 200)));
+  EXPECT_EQ(ranges[2], (std::pair<size_t, size_t>(200, 300)));
+}
+
+TEST(ThreadPoolTest, NodeChunksSingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  size_t chunk = 99, begin = 99, end = 0;
+  pool.ParallelForNodeChunks(42, [&](size_t c, size_t b, size_t e) {
+    seen = std::this_thread::get_id();
+    chunk = c;
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(seen, caller);
+  EXPECT_EQ(chunk, 0u);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 42u);
+}
+
+TEST(ThreadPoolTest, NodeChunksZeroTotalStillCalledOnce) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  size_t end = 99;
+  pool.ParallelForNodeChunks(0, [&](size_t, size_t, size_t e) {
+    calls.fetch_add(1);
+    end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(end, 0u);
+}
 
 TEST(EnvTest, ParsesAndDefaults) {
   ::setenv("FPART_TEST_D", "2.5", 1);

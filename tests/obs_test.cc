@@ -15,6 +15,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -444,6 +445,70 @@ TEST(BenchReportTest, EnvelopeHasDocumentedKeysInOrder) {
   EXPECT_LT(results, metrics);
   // The registry snapshot rode along.
   EXPECT_NE(json.find("bench.test.counter"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Hardware perf counters (obs/perf_counters.h). These tests must pass both
+// on PMU-equipped hosts and in CI containers where perf_event_open fails:
+// supported means monotonic non-garbage readings, unsupported means a
+// clean no-op that publishes nothing.
+
+TEST(PerfCountersTest, ReadIsMonotonicOrAbsent) {
+  PerfCounters& pc = PerfCounters::ForCurrentThread();
+  HwSample a = pc.Read();
+  if (!HwCountersSupported()) {
+    EXPECT_FALSE(a.valid);  // absent-but-not-garbage
+    EXPECT_EQ(a.cycles, 0u);
+    EXPECT_EQ(a.instructions, 0u);
+    EXPECT_EQ(a.llc_misses, 0u);
+    EXPECT_EQ(a.dtlb_misses, 0u);
+    return;
+  }
+  ASSERT_TRUE(a.valid);
+  // Burn enough work that cycle/instruction counts must advance.
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i * i;
+  HwSample b = pc.Read();
+  ASSERT_TRUE(b.valid);
+  EXPECT_GE(b.cycles, a.cycles);
+  EXPECT_GE(b.instructions, a.instructions);
+  EXPECT_GE(b.llc_misses, a.llc_misses);
+  EXPECT_GE(b.dtlb_misses, a.dtlb_misses);
+  EXPECT_GT(b.cycles + b.instructions, a.cycles + a.instructions);
+}
+
+TEST(PerfCountersTest, PhaseScopeAccumulatesOrStaysSilent) {
+  const char* kPhase = "obs_test_phase";
+  Counter* cycles = HwPhaseCounter(kPhase, 0);
+  ASSERT_NE(cycles, nullptr);
+  const uint64_t before = cycles->Value();
+  {
+    HwPhaseScope scope(kPhase);
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 1'000'000; ++i) sink = sink + i;
+  }
+  const uint64_t after = cycles->Value();
+  if (HwCountersSupported()) {
+    EXPECT_GT(after, before);  // the work cost at least one cycle
+  } else {
+    EXPECT_EQ(after, before);  // no-op scope publishes nothing
+  }
+  EXPECT_GE(after, before);  // counters never run backwards either way
+}
+
+TEST(PerfCountersTest, PhaseCounterNamesFollowCatalogue) {
+  // hw.<phase>.<event> with the documented four events, so the schema
+  // checker's pattern and the bench columns stay in lockstep.
+  ASSERT_EQ(kNumHwEvents, 4u);
+  EXPECT_STREQ(kHwEventNames[0], "cycles");
+  EXPECT_STREQ(kHwEventNames[1], "instructions");
+  EXPECT_STREQ(kHwEventNames[2], "llc_misses");
+  EXPECT_STREQ(kHwEventNames[3], "dtlb_misses");
+  Registry::Global().GetCounter("hw.probe.marker", "x");  // registry alive
+  Counter* c = HwPhaseCounter("histogram", 2);
+  ASSERT_NE(c, nullptr);
+  // Same (phase, event) always resolves to the same counter instance.
+  EXPECT_EQ(c, HwPhaseCounter("histogram", 2));
 }
 
 }  // namespace
