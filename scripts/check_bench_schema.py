@@ -48,6 +48,27 @@ EXT_SERVICE_METRICS = [
     "svc.class.besteffort.completed",
 ]
 
+# Cluster-layer metrics ext_cluster must publish (docs/observability.md:
+# shard.* is the routing/migration account, svc.remote.* the cross-node
+# traffic). All are registered at cluster construction, so they are
+# present — possibly zero — in every document.
+EXT_CLUSTER_METRICS = [
+    "shard.lookups", "shard.migrations", "shard.rebalances",
+    "shard.epoch", "shard.imbalance",
+    "svc.remote.submitted", "svc.remote.completed",
+    "svc.remote.bytes", "svc.remote.hop_us",
+    "svc.jobs.submitted", "svc.jobs.completed",
+]
+
+# Result-object keys ext_cluster must report, and the fields each carries.
+EXT_CLUSTER_RESULT_KEYS = {
+    "latency": ["p50_us", "p95_us", "p99_us", "mean_us"],
+    "remote": ["submitted", "completed", "bytes", "share", "mean_hop_us"],
+    "migration": ["migrations", "rebalances", "epoch", "load_imbalance"],
+    "jobs_accounted": ["completed", "failed", "shed", "lost",
+                       "epoch_violations"],
+}
+
 # (case name, binary, args, metric names the run must publish,
 #  config keys the document must carry).
 CASES = [
@@ -96,6 +117,21 @@ CASES = [
                             "sim.cache.entries", "sim.cache.bytes",
                             "sim.analytical.error_pct"],
      ["sim_mode", "sim_cache", "sim_cache_warmup", "xcheck", "affinity"]),
+    # The cluster bench (docs/distributed.md): shard-routed federation of
+    # service nodes, migration off ...
+    ("ext_cluster", "ext_cluster",
+     ["--json", "--jobs", "600", "--clients", "4", "--nodes", "2"],
+     EXT_CLUSTER_METRICS,
+     ["nodes", "buckets", "keys", "zipf", "migration", "rebalance_every",
+      "rebalance_top_k", "link_gbs", "sim_mode"]),
+    # ... and migration on under a hot-key workload: the rebalance cadence
+    # must have fired and every epoch must trace to the migration log.
+    ("ext_cluster_migration", "ext_cluster",
+     ["--json", "--jobs", "600", "--clients", "4", "--nodes", "4",
+      "--zipf", "1.2", "--migration", "on", "--rebalance-every", "100"],
+     EXT_CLUSTER_METRICS,
+     ["nodes", "buckets", "keys", "zipf", "migration", "rebalance_every",
+      "rebalance_top_k", "link_gbs", "sim_mode"]),
 ]
 
 # Result-object keys ext_service must report per priority class and per
@@ -192,6 +228,35 @@ def validate(name: str, doc: dict, expected_metrics,
             if not isinstance(warm, dict) or "runs" not in warm:
                 fail(f"{name}: sim_cache_warmup=1 but no warmup result "
                      f"row with a 'runs' field")
+    if name.startswith("ext_cluster"):
+        for rkey, fields in EXT_CLUSTER_RESULT_KEYS.items():
+            obj = doc["results"].get(rkey)
+            if not isinstance(obj, dict):
+                fail(f"{name}: result object '{rkey}' missing "
+                     f"(have: {sorted(doc['results'])})")
+            for field in fields:
+                if field not in obj:
+                    fail(f"{name}: result '{rkey}' lacks '{field}'")
+        for n in range(int(doc["config"]["nodes"])):
+            obj = doc["results"].get(f"node_{n}")
+            if not isinstance(obj, dict):
+                fail(f"{name}: per-node result 'node_{n}' missing")
+            for field in ("jobs", "remote_jobs", "load",
+                          "virtual_makespan_seconds"):
+                if field not in obj:
+                    fail(f"{name}: node_{n} lacks '{field}'")
+        if "determinism_hash" not in doc["results"]:
+            fail(f"{name}: determinism_hash missing")
+        acct = doc["results"]["jobs_accounted"]
+        if acct["lost"] != 0 or acct["epoch_violations"] != 0:
+            fail(f"{name}: {acct['lost']} lost jobs, "
+                 f"{acct['epoch_violations']} epoch violations")
+        mig = doc["results"]["migration"]
+        if mig["epoch"] != mig["migrations"]:
+            fail(f"{name}: epoch {mig['epoch']} != migrations "
+                 f"{mig['migrations']} (one migration == one epoch)")
+        if doc["config"].get("migration") == 1 and mig["rebalances"] == 0:
+            fail(f"{name}: migration on but no rebalance scan ran")
 
 
 def main() -> int:

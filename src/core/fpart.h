@@ -19,8 +19,10 @@
 #include "datagen/tuple.h"
 #include "datagen/workloads.h"     // Table 4 workloads
 #include "datagen/zipf.h"          // skew generator (Section 5.4)
+#include "dist/cluster.h"          // sharded multi-node service federation
 #include "dist/distributed_join.h" // RDMA-distributed join (Section 6)
 #include "dist/network.h"
+#include "dist/shard_map.h"        // versioned bucket -> owner routing
 #include "fpga/partitioner.h"      // the FPGA circuit simulator (Section 4)
 #include "fpga/resource_model.h"   // Table 2
 #include "groupby/group_by.h"      // partitioned aggregation (Section 6)

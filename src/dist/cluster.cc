@@ -1,0 +1,329 @@
+#include "dist/cluster.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fpart::dist {
+
+namespace {
+
+// Registered once; cached pointers thereafter (obs/metrics.h contract).
+// Registry metrics are process-global, so with several Cluster instances
+// (or several nodes — svc.* metrics!) they aggregate across all of them;
+// per-node and per-bucket breakdowns live on the Cluster accessors.
+struct ClusterMetrics {
+  obs::Counter* lookups;
+  obs::Counter* migrations;
+  obs::Counter* rebalances;
+  obs::Gauge* epoch;
+  obs::Gauge* imbalance;
+  obs::Counter* remote_submitted;
+  obs::Counter* remote_completed;
+  obs::Counter* remote_bytes;
+  obs::Histogram* remote_hop_us;
+};
+
+ClusterMetrics& Metrics() {
+  static ClusterMetrics m = [] {
+    auto& reg = obs::Registry::Global();
+    ClusterMetrics x;
+    x.lookups = reg.GetCounter("shard.lookups", "lookups",
+                               "shard-map routing decisions");
+    x.migrations = reg.GetCounter("shard.migrations", "buckets",
+                                  "bucket ownership handovers applied");
+    x.rebalances = reg.GetCounter("shard.rebalances", "scans",
+                                  "rebalance scans run (explicit + cadence)");
+    x.epoch = reg.GetGauge("shard.epoch", "epoch",
+                           "current shard-map ownership epoch");
+    x.imbalance =
+        reg.GetGauge("shard.imbalance", "ratio",
+                     "max/mean node load at the last rebalance scan");
+    x.remote_submitted =
+        reg.GetCounter("svc.remote.submitted", "jobs",
+                       "jobs routed to a node other than their origin");
+    x.remote_completed = reg.GetCounter(
+        "svc.remote.completed", "jobs", "remote jobs finished successfully");
+    x.remote_bytes =
+        reg.GetCounter("svc.remote.bytes", "bytes",
+                       "input bytes shipped over the fabric for remote jobs");
+    x.remote_hop_us = reg.GetHistogram(
+        "svc.remote.hop_us", "us",
+        "simulated network hop charged per remote submission");
+    return x;
+  }();
+  return m;
+}
+
+ClusterConfig Normalize(ClusterConfig c) {
+  if (c.nodes == 0) c.nodes = 1;
+  if (c.shard_buckets == 0) c.shard_buckets = 1;
+  return c;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(Normalize(std::move(config))),
+      map_(config_.shard_buckets, config_.nodes),
+      node_next_seq_(config_.nodes, 0),
+      node_jobs_(config_.nodes, 0),
+      node_remote_jobs_(config_.nodes, 0),
+      bucket_load_(config_.shard_buckets, 0.0),
+      inflight_(config_.shard_buckets) {
+  Metrics().epoch->Set(0.0);
+  nodes_.reserve(config_.nodes);
+  for (size_t i = 0; i < config_.nodes; ++i) {
+    svc::SchedulerConfig nc = config_.node;
+    nc.name = config_.node.name + std::to_string(i);
+    nodes_.push_back(std::make_unique<svc::Scheduler>(std::move(nc)));
+  }
+}
+
+Cluster::~Cluster() { Shutdown(); }
+
+Result<ClusterSubmission> Cluster::Submit(uint64_t shard_key,
+                                          size_t origin_node,
+                                          const svc::PartitionJobSpec& spec,
+                                          const svc::JobOptions& opts) {
+  if (spec.input == nullptr) {
+    return Status::InvalidArgument("partition job needs an input relation");
+  }
+  return SubmitImpl(shard_key, origin_node, spec, opts, spec.input->size());
+}
+
+Result<ClusterSubmission> Cluster::Submit(uint64_t shard_key,
+                                          size_t origin_node,
+                                          const svc::JoinJobSpec& spec,
+                                          const svc::JobOptions& opts) {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("join job needs both input relations");
+  }
+  return SubmitImpl(shard_key, origin_node, spec, opts,
+                    spec.r->size() + spec.s->size());
+}
+
+template <typename Spec>
+Result<ClusterSubmission> Cluster::SubmitImpl(uint64_t shard_key,
+                                              size_t origin, const Spec& spec,
+                                              svc::JobOptions opts,
+                                              uint64_t tuples) {
+  if (origin >= nodes_.size()) {
+    return Status::InvalidArgument("origin node " + std::to_string(origin) +
+                                   " out of range (cluster has " +
+                                   std::to_string(nodes_.size()) + " nodes)");
+  }
+  const bool det = config_.node.deterministic;
+  if (det && opts.arrival_seq == svc::kAutoArrivalSeq) {
+    return Status::InvalidArgument(
+        "deterministic cluster submissions need a caller-assigned "
+        "cluster-wide arrival_seq");
+  }
+
+  obs::TraceSpan span("shard.route", "dist");
+  std::unique_lock<std::mutex> lock(route_mu_);
+  if (det) {
+    // Serialize routing in global arrival order: the whole route -> load
+    // account -> (maybe) rebalance -> per-node seq -> admit pipeline runs
+    // for seq k before seq k+1, so every step is a pure function of the
+    // job stream — the cluster-wide counterpart of the strict-seq queue.
+    route_cv_.wait(lock, [&] {
+      return shutdown_ || opts.arrival_seq == next_route_seq_;
+    });
+  }
+  if (shutdown_) {
+    return Status::InvalidArgument("cluster is shut down");
+  }
+
+  const ShardRoute route = map_.Route(shard_key);
+  Metrics().lookups->Add();
+  bucket_load_[route.bucket] += static_cast<double>(tuples);
+  node_jobs_[route.owner]++;
+
+  const bool remote = route.owner != origin;
+  const uint64_t bytes = tuples * sizeof(Tuple8);
+  double hop = 0.0;
+  if (remote) {
+    hop = config_.network.TransferSeconds(bytes);
+    node_remote_jobs_[route.owner]++;
+    remote_submitted_++;
+    remote_bytes_ += bytes;
+    Metrics().remote_submitted->Add();
+    Metrics().remote_bytes->Add(bytes);
+    Metrics().remote_hop_us->Record(static_cast<uint64_t>(hop * 1e6));
+  }
+  if (det) {
+    // The owner's scheduler needs its own contiguous numbering; the hop
+    // lands on the virtual clock, where the replay can measure it.
+    opts.arrival_seq = node_next_seq_[route.owner]++;
+    opts.virtual_arrival_seconds += hop;
+  }
+
+  inflight_[route.bucket].fetch_add(1, std::memory_order_relaxed);
+  opts.on_complete = [this, bucket = route.bucket, remote,
+                      user_cb = std::move(opts.on_complete)](
+                         const svc::JobOutcome& out) {
+    inflight_[bucket].fetch_sub(1, std::memory_order_relaxed);
+    if (remote && out.state == svc::JobState::kCompleted) {
+      remote_completed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().remote_completed->Add();
+    }
+    if (user_cb) user_cb(out);
+  };
+
+  ++routed_;
+  if (config_.migration && config_.rebalance_every > 0 &&
+      routed_ % config_.rebalance_every == 0) {
+    RebalanceLocked();
+  }
+
+  ClusterSubmission sub;
+  sub.route = route;
+  sub.origin = origin;
+  sub.remote = remote;
+  sub.hop_seconds = hop;
+
+  Result<svc::JobHandle> admitted = [&]() -> Result<svc::JobHandle> {
+    if (det) {
+      // Admission happens under the router lock too: whether seq k is
+      // shed by a full queue must not depend on how far seq k+1's thread
+      // got.
+      Result<svc::JobHandle> r = nodes_[route.owner]->Submit(spec, opts);
+      ++next_route_seq_;
+      route_cv_.notify_all();
+      lock.unlock();
+      return r;
+    }
+    lock.unlock();
+    return nodes_[route.owner]->Submit(spec, opts);
+  }();
+
+  if (!admitted.ok()) {
+    // A shed job (CapacityError) completed as kShed and already fired
+    // on_complete; any other rejection never reached the record — undo
+    // the in-flight account ourselves.
+    if (!admitted.status().IsCapacityError()) {
+      inflight_[route.bucket].fetch_sub(1, std::memory_order_relaxed);
+    }
+    return admitted.status();
+  }
+  sub.handle = std::move(admitted).ValueUnsafe();
+  return sub;
+}
+
+size_t Cluster::Rebalance() {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return RebalanceLocked();
+}
+
+size_t Cluster::RebalanceLocked() {
+  obs::TraceSpan span("shard.rebalance", "dist");
+  const std::vector<RebalanceMove> moves = PlanRebalance(
+      bucket_load_, map_.owners(), nodes_.size(), config_.rebalance_top_k);
+  for (const RebalanceMove& mv : moves) {
+    map_.Migrate(mv.bucket, mv.to);
+  }
+  migrations_ += moves.size();
+  ++rebalances_;
+  Metrics().migrations->Add(moves.size());
+  Metrics().rebalances->Add();
+  Metrics().epoch->Set(static_cast<double>(map_.epoch()));
+
+  const std::vector<double> loads = NodeLoadsLocked();
+  double total = 0.0, worst = 0.0;
+  for (double l : loads) {
+    total += l;
+    if (l > worst) worst = l;
+  }
+  Metrics().imbalance->Set(total > 0.0
+                               ? worst * static_cast<double>(loads.size()) /
+                                     total
+                               : 1.0);
+  return moves.size();
+}
+
+std::vector<double> Cluster::NodeLoadsLocked() const {
+  const std::vector<size_t> owners = map_.owners();
+  std::vector<double> loads(nodes_.size(), 0.0);
+  for (size_t b = 0; b < owners.size(); ++b) {
+    loads[owners[b]] += bucket_load_[b];
+  }
+  return loads;
+}
+
+void Cluster::Resume() {
+  for (auto& n : nodes_) n->Resume();
+}
+
+void Cluster::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    shutdown_ = true;
+  }
+  route_cv_.notify_all();
+  for (auto& n : nodes_) n->Shutdown();
+}
+
+double Cluster::virtual_makespan_seconds() const {
+  double worst = 0.0;
+  for (const auto& n : nodes_) {
+    worst = std::max(worst, n->virtual_makespan_seconds());
+  }
+  return worst;
+}
+
+uint64_t Cluster::node_jobs(size_t i) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return node_jobs_[i];
+}
+
+uint64_t Cluster::node_remote_jobs(size_t i) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return node_remote_jobs_[i];
+}
+
+uint64_t Cluster::remote_submitted() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return remote_submitted_;
+}
+
+uint64_t Cluster::remote_bytes() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return remote_bytes_;
+}
+
+uint64_t Cluster::migrations() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return migrations_;
+}
+
+uint64_t Cluster::rebalances() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return rebalances_;
+}
+
+double Cluster::bucket_load(uint32_t bucket) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return bucket_load_[bucket];
+}
+
+double Cluster::node_load(size_t node) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  return NodeLoadsLocked()[node];
+}
+
+double Cluster::load_imbalance() const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  const std::vector<double> loads = NodeLoadsLocked();
+  double total = 0.0, worst = 0.0;
+  for (double l : loads) {
+    total += l;
+    if (l > worst) worst = l;
+  }
+  if (total <= 0.0) return 1.0;
+  return worst * static_cast<double>(loads.size()) / total;
+}
+
+}  // namespace fpart::dist

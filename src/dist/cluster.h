@@ -1,0 +1,191 @@
+// The cluster layer: a federation of N partitioning-service nodes behind
+// one shard-mapped submission API (docs/distributed.md).
+//
+// Each node is a full svc runtime — its own Scheduler with its own worker
+// threads, admission queue and simulated FPGA DevicePool — and the nodes
+// are joined by the simulated RDMA fabric of dist/network.h. A submission
+// names a shard key and an origin node; the versioned ShardMap routes it
+// to the bucket's owner. A remote submission (owner != origin) is charged
+// one network hop (rendezvous latency + input bytes at link rate) before
+// it joins the owner's queue, where it competes with local traffic under
+// the same weighted-fair-queueing discipline — there is no remote fast
+// path and no remote penalty box.
+//
+// Hot-bucket migration: the router accumulates per-bucket load (the same
+// tuple cost the WFQ charges), and a rebalance scan — every
+// `rebalance_every` routed jobs, or on demand — greedily hands the most
+// loaded node's hottest movable buckets to the least loaded node through
+// ShardMap::Migrate. Ownership changes are epoch-versioned: in-flight
+// jobs drain on the owner that admitted them (the old epoch), only future
+// arrivals see the new owner. See ShardMap for the audit invariant.
+//
+// Determinism: with per-node deterministic schedulers and caller-assigned
+// contiguous global arrival sequences, the router processes submissions
+// strictly in sequence order (blocking out-of-order callers exactly like
+// the strict-seq JobQueue blocks its dispatcher). Routing, load
+// accounting, rebalance points and per-node sequence assignment are then
+// pure functions of the job stream, so a fixed seed replays bit-for-bit
+// across the whole cluster — one cluster-wide determinism hash
+// (bench/ext_cluster.cc) — no matter how client threads interleave.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/network.h"
+#include "dist/shard_map.h"
+#include "svc/scheduler.h"
+
+namespace fpart::dist {
+
+/// \brief Cluster construction knobs.
+struct ClusterConfig {
+  /// Node count (0 is clamped to 1).
+  size_t nodes = 2;
+  /// Logical shard buckets routed over the nodes (0 is clamped to 1).
+  /// More buckets = finer migration granularity; 64 is plenty for the
+  /// bench's node counts.
+  size_t shard_buckets = 64;
+  /// Per-node scheduler template. Every node gets an identical copy with
+  /// the thread-name prefix suffixed by its node index ("svc0", "svc1",
+  /// ... under the default name); `deterministic` here selects the
+  /// cluster-wide replay mode described in the file comment.
+  svc::SchedulerConfig node;
+  /// The fabric remote submissions pay one hop on.
+  NetworkModel network;
+  /// Enable hot-bucket migration.
+  bool migration = false;
+  /// Rebalance scan cadence in routed jobs (0 = only explicit
+  /// Rebalance() calls). Count-driven, so replays hit the same points.
+  uint64_t rebalance_every = 0;
+  /// Max buckets handed over per scan (the "top-K hottest" knob).
+  size_t rebalance_top_k = 4;
+};
+
+/// \brief What Submit returns: the node-level completion handle plus the
+/// routing decision that was stamped for this job.
+struct ClusterSubmission {
+  svc::JobHandle handle;
+  ShardRoute route;
+  size_t origin = 0;
+  bool remote = false;
+  /// Simulated network hop (0 for local submissions). In deterministic
+  /// mode this has already been added to the job's virtual arrival time.
+  double hop_seconds = 0.0;
+};
+
+/// \brief N svc runtimes behind one shard-routed submission API.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  FPART_DISALLOW_COPY_AND_ASSIGN(Cluster);
+
+  /// Route a partition job by shard key from `origin_node`. In
+  /// deterministic mode `opts.arrival_seq` must be the cluster-wide
+  /// contiguous sequence (0..N-1 across all submitters); the per-node
+  /// sequence the owner's scheduler needs is assigned by the router.
+  Result<ClusterSubmission> Submit(uint64_t shard_key, size_t origin_node,
+                                   const svc::PartitionJobSpec& spec,
+                                   const svc::JobOptions& opts = {});
+  /// Route an equi-join job (same semantics; cost/bytes are |R| + |S|).
+  Result<ClusterSubmission> Submit(uint64_t shard_key, size_t origin_node,
+                                   const svc::JoinJobSpec& spec,
+                                   const svc::JobOptions& opts = {});
+
+  /// One explicit rebalance scan (PlanRebalance over the accumulated
+  /// bucket loads); returns the number of buckets migrated. The
+  /// count-driven cadence (`rebalance_every`) calls the same scan.
+  size_t Rebalance();
+
+  /// Release all nodes' start_paused dispatchers.
+  void Resume();
+
+  /// Stop admissions on every node, drain all in-flight jobs, join all
+  /// threads. Idempotent; also called by the destructor.
+  void Shutdown();
+
+  const ShardMap& shard_map() const { return map_; }
+  svc::Scheduler& node(size_t i) { return *nodes_[i]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Deterministic mode: the cluster's virtual-clock makespan — the max
+  /// over the nodes' makespans, i.e. when the last node's model clock
+  /// finishes the replayed stream. Meaningful after Shutdown().
+  double virtual_makespan_seconds() const;
+  double node_virtual_makespan_seconds(size_t i) const {
+    return nodes_[i]->virtual_makespan_seconds();
+  }
+
+  /// Jobs routed to node i (local + remote), and the remote share of them.
+  uint64_t node_jobs(size_t i) const;
+  uint64_t node_remote_jobs(size_t i) const;
+  /// Cluster-wide remote accounting.
+  uint64_t remote_submitted() const;
+  uint64_t remote_completed() const {
+    return remote_completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t remote_bytes() const;
+
+  /// Migration accounting.
+  uint64_t migrations() const;  ///< buckets handed over so far
+  uint64_t rebalances() const;  ///< rebalance scans run so far
+  /// Jobs routed to `bucket` that have not reached a terminal state yet —
+  /// the population that drains under the pre-migration epoch.
+  uint64_t inflight(uint32_t bucket) const {
+    return inflight_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Load accounting (router-side cumulative tuple cost).
+  double bucket_load(uint32_t bucket) const;
+  /// Node load under the *current* ownership — what the next rebalance
+  /// scan balances.
+  double node_load(size_t node) const;
+  /// Max node load / mean node load (1.0 = perfectly balanced).
+  double load_imbalance() const;
+
+ private:
+  template <typename Spec>
+  Result<ClusterSubmission> SubmitImpl(uint64_t shard_key, size_t origin,
+                                       const Spec& spec,
+                                       svc::JobOptions opts, uint64_t tuples);
+  /// One scan; route_mu_ held.
+  size_t RebalanceLocked();
+  std::vector<double> NodeLoadsLocked() const;
+
+  ClusterConfig config_;
+  ShardMap map_;
+
+  mutable std::mutex route_mu_;
+  std::condition_variable route_cv_;
+  bool shutdown_ = false;
+  /// Deterministic mode: the next cluster-wide arrival_seq to route.
+  uint64_t next_route_seq_ = 0;
+  uint64_t routed_ = 0;
+  /// Per-node contiguous sequence counters handed to the schedulers.
+  std::vector<uint64_t> node_next_seq_;
+  std::vector<uint64_t> node_jobs_;
+  std::vector<uint64_t> node_remote_jobs_;
+  std::vector<double> bucket_load_;
+  uint64_t remote_submitted_ = 0;
+  uint64_t remote_bytes_ = 0;
+  uint64_t rebalances_ = 0;
+  uint64_t migrations_ = 0;
+
+  /// Touched by completion callbacks on node worker threads.
+  std::atomic<uint64_t> remote_completed_{0};
+  std::vector<std::atomic<uint64_t>> inflight_;
+
+  /// Last: destroyed first, which joins every thread that can still run a
+  /// completion callback into the members above.
+  std::vector<std::unique_ptr<svc::Scheduler>> nodes_;
+};
+
+}  // namespace fpart::dist

@@ -21,6 +21,15 @@ struct NetworkModel {
   /// Fixed per-message latency (rendezvous setup etc.).
   double message_latency_sec = 3e-6;
 
+  /// Time for one point-to-point transfer of `bytes` between two distinct
+  /// nodes: rendezvous latency plus the payload at link rate. This is the
+  /// per-job "hop" the cluster layer (dist/cluster.h) charges a remote
+  /// submission before it joins the owner node's queue; transfers to self
+  /// are free (local memory) and must not be routed through here.
+  double TransferSeconds(uint64_t bytes) const {
+    return message_latency_sec + static_cast<double>(bytes) / (link_gbs * 1e9);
+  }
+
   /// Time for an all-to-all shuffle where `bytes_out[i][j]` flows from
   /// node i to node j (bytes to self are free — local memory).
   double ShuffleSeconds(

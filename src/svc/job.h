@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,8 @@ struct JoinJobSpec {
 inline constexpr uint64_t kAutoArrivalSeq =
     std::numeric_limits<uint64_t>::max();
 
+struct JobOutcome;
+
 /// \brief Per-job scheduling options.
 struct JobOptions {
   /// Relative deadline in seconds from submission (0 = none). The FPGA
@@ -122,6 +125,14 @@ struct JobOptions {
   /// virtual clock (seconds). Placement charges queueing delay against
   /// this clock instead of the wall clock.
   double virtual_arrival_seconds = 0.0;
+  /// Invoked exactly once when the job reaches a terminal state —
+  /// completed, failed, cancelled, or shed at admission — after the
+  /// outcome is published and handle waiters are woken. Runs on the
+  /// completing thread (a worker, or the submitting thread for shed
+  /// jobs); keep it cheap and never call back into the scheduler from it.
+  /// The cluster layer (dist/cluster.h) uses this for cross-node
+  /// in-flight accounting.
+  std::function<void(const JobOutcome&)> on_complete;
 };
 
 /// \brief Completion record of a job, filled exactly once.
@@ -139,6 +150,14 @@ struct JobOutcome {
   double run_seconds = 0.0;
   /// Model/simulated seconds of the device phase (FPGA/hybrid jobs).
   double device_seconds = 0.0;
+  /// Deterministic mode only: the job's latency on the *virtual* clock —
+  /// queue wait (virtual arrival -> virtual start on the placed backend)
+  /// and modeled service time. Together they are the replayed stream's
+  /// noise-free latency, a pure function of the job stream (what
+  /// bench/ext_cluster.cc reports percentiles over); both 0.0 in live
+  /// mode, where the wall-clock fields above are the measurement.
+  double virtual_queue_seconds = 0.0;
+  double virtual_run_seconds = 0.0;
 };
 
 /// \brief Internal lifecycle record shared by scheduler, executor and the

@@ -408,12 +408,16 @@ void Scheduler::PlaceJob(JobRecord* rec) {
       backend == Backend::kCpu ? d.est_cpu_seconds : d.device_seconds;
 
   // Charge the chosen backend's backlog (credited back at completion) and,
-  // in deterministic mode, advance the virtual clocks.
+  // in deterministic mode, advance the virtual clocks. The virtual start
+  // and service time are stamped on the outcome: they are the replay's
+  // noise-free latency decomposition (JobOutcome::virtual_*_seconds).
   if (config_.deterministic) {
     if (backend == Backend::kCpu) {
       const double start =
           std::max(t_arrival, virt_worker_free_[virt_worker]);
       virt_worker_free_[virt_worker] = start + d.est_cpu_seconds;
+      rec->outcome.virtual_queue_seconds = start - t_arrival;
+      rec->outcome.virtual_run_seconds = d.est_cpu_seconds;
     } else {
       // Device jobs hold a worker for the whole run and their device for
       // the lease phase; the chosen device's clock gates the start.
@@ -422,6 +426,8 @@ void Scheduler::PlaceJob(JobRecord* rec) {
                     virt_worker_free_[virt_worker]});
       virt_device_free_[virt_device] = start + d.device_seconds;
       virt_worker_free_[virt_worker] = start + d.est_fpga_seconds;
+      rec->outcome.virtual_queue_seconds = start - t_arrival;
+      rec->outcome.virtual_run_seconds = d.est_fpga_seconds;
     }
   } else if (backend == Backend::kCpu) {
     std::unique_lock<std::mutex> lock(ready_mu_);
@@ -527,6 +533,8 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
   JobOutcome out;
   out.backend = rec->outcome.backend;
   out.queue_seconds = queue_seconds;
+  out.virtual_queue_seconds = rec->outcome.virtual_queue_seconds;
+  out.virtual_run_seconds = rec->outcome.virtual_run_seconds;
 
   Status status;
   if (rec->cancel.load(std::memory_order_relaxed)) {
@@ -735,6 +743,10 @@ void Scheduler::CompleteJob(const std::shared_ptr<JobRecord>& rec,
     rec->done = true;
   }
   rec->cv.notify_all();
+  // After the publish: the outcome is immutable once done, so reading it
+  // without the lock is safe, and a callback that blocks can no longer
+  // delay handle waiters.
+  if (rec->opts.on_complete) rec->opts.on_complete(rec->outcome);
 }
 
 }  // namespace fpart::svc

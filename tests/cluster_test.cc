@@ -1,0 +1,431 @@
+// Tests of the cluster layer (docs/distributed.md): the versioned shard
+// map, the greedy hot-bucket rebalancer, ownership-epoch correctness
+// under racing submit/migrate (run this binary under TSan — check.sh's
+// tsan suite does), cluster-wide deterministic replay, and the
+// load-imbalance property of migration on a static Zipf workload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/fpart.h"
+
+namespace fpart {
+namespace {
+
+using dist::Cluster;
+using dist::ClusterConfig;
+using dist::ClusterSubmission;
+using dist::MigrationEvent;
+using dist::PlanRebalance;
+using dist::RebalanceMove;
+using dist::ShardMap;
+using dist::ShardRoute;
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (b * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Relation<Tuple8> SmallTable(size_t tuples, uint64_t seed) {
+  auto rel = GenerateRawRelation(tuples, KeyDistribution::kRandom, seed);
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).ValueUnsafe();
+}
+
+// ---------------------------------------------------------------- ShardMap
+
+TEST(ShardMapTest, InitialOwnershipIsRoundRobin) {
+  ShardMap map(8, 3);
+  EXPECT_EQ(map.epoch(), 0u);
+  for (uint32_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(map.owner(b), b % 3);
+    EXPECT_EQ(map.OwnerAt(b, 0), b % 3);
+  }
+}
+
+TEST(ShardMapTest, RouteIsConsistentWithOwner) {
+  ShardMap map(16, 4);
+  for (uint64_t key = 0; key < 100; ++key) {
+    const ShardRoute r = map.Route(key);
+    EXPECT_EQ(r.bucket, ShardMap::BucketOf(key, 16));
+    EXPECT_EQ(r.owner, map.owner(r.bucket));
+    EXPECT_EQ(r.epoch, 0u);
+  }
+}
+
+TEST(ShardMapTest, MigrateBumpsEpochAndLogsHistory) {
+  ShardMap map(8, 2);
+  EXPECT_EQ(map.Migrate(3, 0), 1u);  // bucket 3: node 1 -> node 0
+  EXPECT_EQ(map.Migrate(3, 1), 2u);  // and back
+  EXPECT_EQ(map.epoch(), 2u);
+  EXPECT_EQ(map.owner(3), 1u);
+  const std::vector<MigrationEvent> log = map.history();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].bucket, 3u);
+  EXPECT_EQ(log[0].from, 1u);
+  EXPECT_EQ(log[0].to, 0u);
+  EXPECT_EQ(log[0].epoch, 1u);
+  EXPECT_EQ(log[1].to, 1u);
+}
+
+TEST(ShardMapTest, OwnerAtReplaysTheLog) {
+  ShardMap map(4, 2);
+  map.Migrate(1, 0);  // epoch 1
+  map.Migrate(2, 1);  // epoch 2 (2 already belongs to 0 -> moves to 1)
+  map.Migrate(1, 1);  // epoch 3
+  EXPECT_EQ(map.OwnerAt(1, 0), 1u);  // initial: 1 % 2
+  EXPECT_EQ(map.OwnerAt(1, 1), 0u);
+  EXPECT_EQ(map.OwnerAt(1, 2), 0u);  // unrelated migration in between
+  EXPECT_EQ(map.OwnerAt(1, 3), 1u);
+  EXPECT_EQ(map.OwnerAt(2, 1), 0u);
+  EXPECT_EQ(map.OwnerAt(2, 2), 1u);
+}
+
+TEST(ShardMapTest, BucketOfSpreadsAdjacentKeys) {
+  // Zipf ranks are small consecutive integers; the finalizer must not
+  // alias them onto neighbouring buckets.
+  const size_t buckets = 64;
+  std::vector<uint32_t> seen;
+  for (uint64_t key = 1; key <= 16; ++key) {
+    seen.push_back(ShardMap::BucketOf(key, buckets));
+  }
+  size_t distinct = 0;
+  std::vector<uint8_t> mark(buckets, 0);
+  for (uint32_t b : seen) {
+    if (mark[b] == 0) ++distinct;
+    mark[b] = 1;
+  }
+  EXPECT_GE(distinct, 12u);  // 16 keys over 64 buckets: mostly distinct
+}
+
+// ----------------------------------------------------------- PlanRebalance
+
+double MaxMinGap(const std::vector<double>& loads,
+                 const std::vector<size_t>& owners, size_t nodes) {
+  std::vector<double> node_load(nodes, 0.0);
+  for (size_t b = 0; b < owners.size(); ++b) {
+    node_load[owners[b]] += loads[b];
+  }
+  double hi = node_load[0], lo = node_load[0];
+  for (double l : node_load) {
+    hi = std::max(hi, l);
+    lo = std::min(lo, l);
+  }
+  return hi - lo;
+}
+
+TEST(PlanRebalanceTest, MovesHotBucketOffTheOverloadedNode) {
+  // Bucket 0 (node 0) carries more than the whole node-load gap — moving
+  // it would just swap the hot spot — so bucket 2 is the hottest bucket
+  // that fits under the gap.
+  const std::vector<double> loads = {100.0, 40.0, 30.0, 1.0};
+  const std::vector<size_t> owners = {0, 1, 0, 1};
+  const std::vector<RebalanceMove> moves = PlanRebalance(loads, owners, 2, 4);
+  ASSERT_FALSE(moves.empty());
+  EXPECT_EQ(moves[0].bucket, 2u);  // hottest movable (100 >= gap, stays)
+  EXPECT_EQ(moves[0].from, 0u);
+  EXPECT_EQ(moves[0].to, 1u);
+}
+
+TEST(PlanRebalanceTest, EveryMoveShrinksTheGap) {
+  // Property over random skewed loads: applying the plan move-by-move
+  // never increases the max-min node-load gap.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const size_t buckets = 32, nodes = 4;
+    std::vector<double> loads(buckets);
+    std::vector<size_t> owners(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      // Heavy-tailed bucket loads, random initial owners.
+      const double u = rng.NextDouble();
+      loads[b] = 1.0 / (0.001 + u * u);
+      owners[b] = rng.Next() % nodes;
+    }
+    std::vector<size_t> current = owners;
+    double gap = MaxMinGap(loads, current, nodes);
+    const std::vector<RebalanceMove> moves =
+        PlanRebalance(loads, owners, nodes, 16);
+    for (const RebalanceMove& mv : moves) {
+      EXPECT_EQ(current[mv.bucket], mv.from);
+      current[mv.bucket] = mv.to;
+      const double next = MaxMinGap(loads, current, nodes);
+      EXPECT_LT(next, gap) << "seed " << seed;
+      gap = next;
+    }
+  }
+}
+
+TEST(PlanRebalanceTest, BalancedLoadPlansNothing) {
+  const std::vector<double> loads = {10.0, 10.0, 10.0, 10.0};
+  const std::vector<size_t> owners = {0, 1, 0, 1};
+  EXPECT_TRUE(PlanRebalance(loads, owners, 2, 8).empty());
+}
+
+TEST(PlanRebalanceTest, SingleNodeOrBadInputPlansNothing) {
+  EXPECT_TRUE(PlanRebalance({5.0, 1.0}, {0, 0}, 1, 8).empty());
+  EXPECT_TRUE(PlanRebalance({5.0}, {0, 0}, 2, 8).empty());  // size mismatch
+}
+
+// ----------------------------------------------------------------- Cluster
+
+// Find a key the map currently routes to `owner` (exists for any owner
+// with at least one bucket).
+uint64_t KeyOwnedBy(const ShardMap& map, size_t owner) {
+  for (uint64_t key = 0;; ++key) {
+    if (map.Route(key).owner == owner) return key;
+  }
+}
+
+TEST(ClusterTest, LocalAndRemoteSubmissionsComplete) {
+  const Relation<Tuple8> table = SmallTable(2048, 3);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.shard_buckets = 8;
+  config.node.num_workers = 1;
+  config.node.policy = svc::PlacementPolicy::kCpuOnly;
+  Cluster cluster(config);
+
+  const uint64_t local_key = KeyOwnedBy(cluster.shard_map(), 0);
+  const uint64_t remote_key = KeyOwnedBy(cluster.shard_map(), 1);
+  svc::PartitionJobSpec spec;
+  spec.input = &table;
+  spec.request.fanout = 64;
+
+  auto local = cluster.Submit(local_key, /*origin_node=*/0, spec);
+  auto remote = cluster.Submit(remote_key, /*origin_node=*/0, spec);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_FALSE(local->remote);
+  EXPECT_TRUE(remote->remote);
+  EXPECT_DOUBLE_EQ(local->hop_seconds, 0.0);
+  // Hop = rendezvous latency + bytes at link rate.
+  EXPECT_NEAR(remote->hop_seconds,
+              config.network.TransferSeconds(table.size() * sizeof(Tuple8)),
+              1e-12);
+  EXPECT_EQ(remote->route.owner, 1u);
+  EXPECT_EQ(local->handle.Wait().state, svc::JobState::kCompleted);
+  EXPECT_EQ(remote->handle.Wait().state, svc::JobState::kCompleted);
+  cluster.Shutdown();
+  EXPECT_EQ(cluster.remote_submitted(), 1u);
+  EXPECT_EQ(cluster.remote_completed(), 1u);
+  EXPECT_EQ(cluster.remote_bytes(), table.size() * sizeof(Tuple8));
+  EXPECT_EQ(cluster.node_jobs(0) + cluster.node_jobs(1), 2u);
+  for (uint32_t b = 0; b < config.shard_buckets; ++b) {
+    EXPECT_EQ(cluster.inflight(b), 0u);  // all drained
+  }
+}
+
+TEST(ClusterTest, OnCompleteChainsToTheCallersCallback) {
+  const Relation<Tuple8> table = SmallTable(1024, 5);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.node.num_workers = 1;
+  config.node.policy = svc::PlacementPolicy::kCpuOnly;
+  Cluster cluster(config);
+
+  std::atomic<int> fired{0};
+  svc::JobOptions opts;
+  opts.on_complete = [&](const svc::JobOutcome& out) {
+    EXPECT_EQ(out.state, svc::JobState::kCompleted);
+    fired.fetch_add(1);
+  };
+  svc::PartitionJobSpec spec;
+  spec.input = &table;
+  spec.request.fanout = 64;
+  auto sub = cluster.Submit(7, 0, spec, opts);
+  ASSERT_TRUE(sub.ok());
+  sub->handle.Wait();
+  cluster.Shutdown();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(ClusterTest, InvalidSubmissionsAreRejected) {
+  ClusterConfig config;
+  config.nodes = 2;
+  Cluster cluster(config);
+  svc::PartitionJobSpec no_input;
+  EXPECT_FALSE(cluster.Submit(1, 0, no_input).ok());
+  const Relation<Tuple8> table = SmallTable(512, 9);
+  svc::PartitionJobSpec spec;
+  spec.input = &table;
+  EXPECT_FALSE(cluster.Submit(1, /*origin_node=*/9, spec).ok());
+  cluster.Shutdown();
+  EXPECT_FALSE(cluster.Submit(1, 0, spec).ok());  // after shutdown
+}
+
+// The epoch-protocol audit under racing submit and migrate: client
+// threads hammer a live-mode cluster with hot-keyed jobs while a
+// rebalancer thread migrates buckets concurrently. Every stamped route
+// must agree with the migration log, and every in-flight count must
+// drain. Run under TSan to check the router/callback synchronization.
+TEST(ClusterTest, RoutesStayEpochConsistentUnderRacingMigration) {
+  const Relation<Tuple8> table = SmallTable(1024, 13);
+  ClusterConfig config;
+  config.nodes = 3;
+  config.shard_buckets = 12;
+  config.node.num_workers = 1;
+  config.node.policy = svc::PlacementPolicy::kCpuOnly;
+  config.node.queue_capacity = 1024;
+  Cluster cluster(config);
+
+  const size_t kClients = 3;
+  const uint64_t kJobsPerClient = 60;
+  std::vector<std::vector<ClusterSubmission>> subs(kClients);
+  std::atomic<bool> stop{false};
+
+  std::thread rebalancer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cluster.Rebalance();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ZipfSampler keys(64, 1.2, 1000 + c);  // hot keys: rebalancer has work
+      for (uint64_t i = 0; i < kJobsPerClient; ++i) {
+        svc::PartitionJobSpec spec;
+        spec.input = &table;
+        spec.request.fanout = 64;
+        auto sub = cluster.Submit(keys.Next(), c % config.nodes, spec);
+        ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+        subs[c].push_back(std::move(sub).ValueUnsafe());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  rebalancer.join();
+  cluster.Shutdown();
+
+  for (const auto& per_client : subs) {
+    for (const ClusterSubmission& sub : per_client) {
+      EXPECT_EQ(sub.handle.Wait().state, svc::JobState::kCompleted);
+      // The job ran on the node that owned its bucket when it was routed.
+      EXPECT_EQ(cluster.shard_map().OwnerAt(sub.route.bucket,
+                                            sub.route.epoch),
+                sub.route.owner);
+    }
+  }
+  for (uint32_t b = 0; b < config.shard_buckets; ++b) {
+    EXPECT_EQ(cluster.inflight(b), 0u);
+  }
+}
+
+// One deterministic replay: `clients` threads submit `jobs` Zipf-keyed
+// partition jobs with cluster-wide arrival sequences; returns the
+// determinism hash over (i, route, backend, checksum).
+uint64_t ReplayHash(size_t nodes, bool migration, size_t clients,
+                    uint64_t jobs, const Relation<Tuple8>& table) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.shard_buckets = 16;
+  config.migration = migration;
+  config.rebalance_every = 32;
+  config.node.deterministic = true;
+  config.node.num_workers = 2;
+  config.node.queue_capacity = jobs;
+  Cluster cluster(config);
+
+  std::vector<uint64_t> keys(jobs);
+  {
+    ZipfSampler zipf(256, 1.1, 77);
+    for (uint64_t i = 0; i < jobs; ++i) keys[i] = zipf.Next();
+  }
+  std::vector<ClusterSubmission> subs(jobs);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (uint64_t i = c; i < jobs; i += clients) {
+        svc::PartitionJobSpec spec;
+        spec.input = &table;
+        spec.request.fanout = 64;
+        svc::JobOptions opts;
+        opts.arrival_seq = i;
+        opts.virtual_arrival_seconds = 1e-5 * static_cast<double>(i);
+        auto sub = cluster.Submit(keys[i], i % nodes, spec, opts);
+        ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+        subs[i] = std::move(sub).ValueUnsafe();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cluster.Shutdown();
+
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint64_t i = 0; i < jobs; ++i) {
+    const svc::JobOutcome out = subs[i].handle.Wait();
+    EXPECT_EQ(out.state, svc::JobState::kCompleted);
+    hash = Fnv1a(hash, i);
+    hash = Fnv1a(hash, subs[i].route.bucket);
+    hash = Fnv1a(hash, subs[i].route.owner);
+    hash = Fnv1a(hash, subs[i].route.epoch);
+    hash = Fnv1a(hash, static_cast<uint64_t>(out.backend));
+    hash = Fnv1a(hash, out.checksum);
+  }
+  return hash;
+}
+
+TEST(ClusterTest, DeterministicReplayIsStableAcrossNodeCounts) {
+  const Relation<Tuple8> table = SmallTable(2048, 21);
+  for (size_t nodes : {1, 2, 4}) {
+    const uint64_t a = ReplayHash(nodes, /*migration=*/false, 2, 96, table);
+    const uint64_t b = ReplayHash(nodes, /*migration=*/false, 3, 96, table);
+    EXPECT_EQ(a, b) << "nodes=" << nodes;
+  }
+}
+
+TEST(ClusterTest, DeterministicReplayIsStableWithMigrationOn) {
+  // Rebalance points are count-driven, so replays that migrate buckets
+  // mid-stream still hash identically.
+  const Relation<Tuple8> table = SmallTable(2048, 22);
+  const uint64_t a = ReplayHash(4, /*migration=*/true, 2, 96, table);
+  const uint64_t b = ReplayHash(4, /*migration=*/true, 4, 96, table);
+  EXPECT_EQ(a, b);
+}
+
+// Migration property on a static Zipf workload: after routing a skewed
+// stream, one rebalance scan strictly shrinks the node-load imbalance,
+// and repeating the stream with migration enabled never ends worse than
+// migration off.
+TEST(ClusterTest, RebalanceShrinksImbalanceOnStaticZipf) {
+  const Relation<Tuple8> table = SmallTable(1024, 31);
+  ClusterConfig config;
+  config.nodes = 4;
+  config.shard_buckets = 32;
+  config.node.num_workers = 1;
+  config.node.policy = svc::PlacementPolicy::kCpuOnly;
+  config.node.queue_capacity = 1024;
+  Cluster cluster(config);
+
+  ZipfSampler zipf(128, 1.3, 55);
+  std::vector<ClusterSubmission> subs;
+  for (uint64_t i = 0; i < 200; ++i) {
+    svc::PartitionJobSpec spec;
+    spec.input = &table;
+    spec.request.fanout = 64;
+    auto sub = cluster.Submit(zipf.Next(), i % config.nodes, spec);
+    ASSERT_TRUE(sub.ok());
+    subs.push_back(std::move(sub).ValueUnsafe());
+  }
+  for (const auto& sub : subs) sub.handle.Wait();
+
+  const double before = cluster.load_imbalance();
+  const size_t moved = cluster.Rebalance();
+  const double after = cluster.load_imbalance();
+  EXPECT_GT(before, 1.05);  // Zipf(1.3) skews the static assignment
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(cluster.migrations(), moved);
+  EXPECT_EQ(cluster.shard_map().epoch(), moved);  // one epoch per move
+  cluster.Shutdown();
+}
+
+}  // namespace
+}  // namespace fpart
