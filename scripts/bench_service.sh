@@ -1,10 +1,17 @@
 #!/usr/bin/env sh
 # Replay a closed-loop multi-tenant job stream through the svc scheduler
 # (bench/ext_service: Poisson arrivals, Zipf job sizes, adaptive CPU/FPGA
-# placement) and record the result as BENCH_service.json at the repo root.
-# The document is a single fpart.obs.v1 envelope (docs/observability.md)
-# with tail latency percentiles, the placement mix, and the svc.* metric
-# snapshot; flatten with scripts/bench_to_csv.py.
+# placement) and record the results as BENCH_service.json at the repo
+# root. The document is a JSON object wrapping one fpart.obs.v1 envelope
+# per configuration (docs/observability.md):
+#   base                  the historical default run ([jobs] [clients]
+#                         [devices] and any extra flags)
+#   sat_r<rate>_q<queue>  100k-job saturation sweep on the analytical
+#                         simulator with memoized device runs: offered
+#                         load (virtual arrivals/s) x admission bound.
+#                         The shed/completed split and the per-class p99s
+#                         show where admission control starts paying.
+# Flatten with scripts/bench_to_csv.py (it unpacks wrapper objects).
 # Usage: scripts/bench_service.sh [build_dir] [jobs] [clients] [devices]
 #                                 [extra ext_service flags...]
 # e.g. scripts/bench_service.sh build 10000 8 2 \
@@ -26,7 +33,35 @@ if [ ! -x "$build_dir/bench/ext_service" ]; then
 fi
 
 out="$repo_root/BENCH_service.json"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
 "$build_dir/bench/ext_service" --json --jobs "$jobs" --clients "$clients" \
-  --fpga_devices "$devices" "$@" > "$out.tmp"
+  --fpga_devices "$devices" "$@" > "$tmp/base.json"
+
+# Saturation sweep: 100k jobs per cell is cheap on the analytical backend
+# with the sim cache warmed — the device runs memoize per job shape.
+sat_jobs=100000
+sweep_keys=""
+for rate in 4000 16000 64000; do
+  for queue in 256 8192; do
+    "$build_dir/bench/ext_service" --json --jobs "$sat_jobs" \
+      --clients "$clients" --fpga_devices 2 \
+      --sim_mode analytical --sim_cache 1 --sim_cache_warmup 1 \
+      --rate "$rate" --queue "$queue" "$@" \
+      > "$tmp/sat_r${rate}_q${queue}.json"
+    sweep_keys="$sweep_keys sat_r${rate}_q${queue}"
+  done
+done
+
+{
+  printf '{\n"base": '
+  cat "$tmp/base.json"
+  for key in $sweep_keys; do
+    printf ',\n"%s": ' "$key"
+    cat "$tmp/$key.json"
+  done
+  printf '}\n'
+} > "$out.tmp"
 mv "$out.tmp" "$out"
 cat "$out"

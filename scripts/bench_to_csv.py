@@ -17,7 +17,14 @@ Two input formats are recognized automatically:
   policy so plots can pivot on them directly; they are empty elsewhere.
   Wrapper objects that nest several documents (bench_cpu.sh emits
   {"partition": {...}, "join": {...}, "fig04_affinity": {...}, ...}) are
-  unpacked.
+  unpacked, each under its wrapper key (so BENCH_stream.json's
+  drift_repartition_on/off arms land in separate files).
+
+  Documents carrying time-bucketed result rows named "window_NN" (the
+  streaming bench's read-latency series, docs/streaming.md) additionally
+  get a pivoted <outdir>/<label>_series.csv with one row per window —
+  columns window,op_lo,reads,scan_p50,scan_p99,p99_us — ready to plot
+  p99-over-time without any reshaping.
 
 * Legacy text tables from `for b in build/bench/*; do $b; done`: each
   `======== <name>` section is written to <outdir>/<name>.txt verbatim and
@@ -57,11 +64,39 @@ def iter_obs_documents(doc):
         return
     for key, value in doc.items():
         if isinstance(value, dict) and value.get("schema") == "fpart.obs.v1":
-            yield value.get("benchmark", key), value
+            # The wrapper key, not the benchmark name: several arms of one
+            # bench (repartition on/off, n1/n2/n4) must not clobber each
+            # other's files.
+            yield key, value
 
 
 # Affinity-sweep row names: "<variant>_t<threads>_affinity_<policy>".
 AFFINITY_ROW_RE = re.compile(r"_t(\d+)_affinity_([a-z_-]+)$")
+
+# Streaming time-series row names: "window_00", "window_01", ...
+WINDOW_ROW_RE = re.compile(r"^window_(\d+)$")
+
+SERIES_FIELDS = ["op_lo", "reads", "scan_p50", "scan_p99", "p99_us"]
+
+
+def write_series_csv(label, doc, outdir):
+    """Pivot a doc's window_NN result rows into <label>_series.csv; returns
+    True if the doc carried a time series."""
+    windows = []
+    for name, value in doc.get("results", {}).items():
+        m = WINDOW_ROW_RE.match(name)
+        if m and isinstance(value, dict):
+            windows.append((int(m.group(1)), value))
+    if not windows:
+        return False
+    windows.sort()
+    with open(os.path.join(outdir, f"{label}_series.csv"), "w") as f:
+        f.write("window," + ",".join(SERIES_FIELDS) + "\n")
+        for idx, row in windows:
+            f.write(",".join([str(idx)] +
+                             [str(row.get(field, "")) for field in
+                              SERIES_FIELDS]) + "\n")
+    return True
 
 
 def flatten_obs(doc):
@@ -97,6 +132,8 @@ def write_obs_csv(docs, outdir):
             for section, name, field, value, threads, aff in flatten_obs(doc):
                 f.write(f"{section},{name},{field},{value},{threads},{aff}\n")
         written += 1
+        if write_series_csv(label, doc, outdir):
+            written += 1
     return written
 
 

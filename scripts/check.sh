@@ -6,10 +6,10 @@
 # paths are all exercised regardless of the build host.
 #
 # The tsan suite builds with ThreadSanitizer and runs the concurrency-
-# heavy binaries (svc_test, svc_property_test, cluster_test, common_test,
-# obs_test, sim_analytical_test's concurrent sim-cache races, plus
-# ext_service and ext_cluster smoke replays) directly — the full ctest
-# matrix is too slow under TSan to be a useful gate.
+# heavy binaries (svc_test, svc_property_test, cluster_test, stream_test,
+# common_test, obs_test, sim_analytical_test's concurrent sim-cache races,
+# plus ext_service, ext_cluster and ext_stream smoke replays) directly —
+# the full ctest matrix is too slow under TSan to be a useful gate.
 #
 # Usage: scripts/check.sh [jobs] [suite...]
 #   suite: any of default, asan, tsan, native (default/asan/native when
@@ -48,9 +48,11 @@ run_tsan_suite() {
     -DFPART_SANITIZE_THREAD=ON -DFPART_BUILD_BENCHMARKS=ON \
     -DFPART_BUILD_EXAMPLES=OFF >&2
   cmake --build "$build_dir" -j "$jobs" \
-    --target svc_test svc_property_test cluster_test common_test obs_test \
-    sim_analytical_test ext_service ext_cluster >&2
-  for bin in svc_test svc_property_test cluster_test common_test obs_test; do
+    --target svc_test svc_property_test cluster_test stream_test \
+    common_test obs_test sim_analytical_test ext_service ext_cluster \
+    ext_stream >&2
+  for bin in svc_test svc_property_test cluster_test stream_test \
+             common_test obs_test; do
     echo "=== tsan $bin ===" >&2
     FPART_SCALE=0.0625 "$build_dir/tests/$bin"
   done
@@ -77,6 +79,12 @@ run_tsan_suite() {
   FPART_SCALE=0.0625 "$build_dir/bench/ext_cluster" --json \
     --jobs 600 --clients 4 --nodes 2 --deterministic 0 \
     --rate 20000 > /dev/null
+  echo "=== tsan ext_stream deterministic smoke (sequenced replay) ===" >&2
+  FPART_SCALE=0.0625 "$build_dir/bench/ext_stream" --json \
+    --ops 1500 --clients 4 --workers 2 > /dev/null
+  echo "=== tsan ext_stream live-mode smoke (raced repartition) ===" >&2
+  FPART_SCALE=0.0625 "$build_dir/bench/ext_stream" --json \
+    --ops 1500 --clients 4 --workers 2 --deterministic 0 > /dev/null
 }
 
 for suite in $suites; do

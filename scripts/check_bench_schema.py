@@ -60,6 +60,51 @@ EXT_CLUSTER_METRICS = [
     "svc.jobs.submitted", "svc.jobs.completed",
 ]
 
+# Streaming-store metrics ext_stream must publish (docs/streaming.md).
+# The stream.store/ingest/read families are registered at store
+# construction, so they are present in every arm; the hotspot/rebalance
+# job counters only exist once the repartition loop actually ran, so the
+# --repartition off arm checks the base set only.
+EXT_STREAM_METRICS = [
+    "stream.ingest.tuples", "stream.ingest.batches",
+    "stream.ingest.drain_us", "stream.ingest.buffered",
+    "stream.read.ops", "stream.read.scan_tuples", "stream.read.us",
+    "stream.store.buckets", "stream.store.depth", "stream.store.epoch",
+    "stream.store.tuples", "stream.store.imbalance",
+    "stream.rebalance.splits", "stream.rebalance.merges",
+    "stream.rebalance.stale", "stream.rebalance.moved_tuples",
+    "svc.jobs.submitted", "svc.jobs.completed",
+    "svc.place.err_pct.cpu.small",
+]
+EXT_STREAM_METRICS_ON = EXT_STREAM_METRICS + [
+    "stream.hotspot.ticks", "stream.hotspot.split_decisions",
+    "stream.hotspot.merge_decisions", "stream.rebalance.jobs",
+]
+
+# The drift-schedule + repartition knobs every ext_stream document must
+# carry (the A/B arms are distinguished by config, not by shape).
+EXT_STREAM_CONFIG_KEYS = [
+    "ops", "batch", "clients", "read_frac", "keys",
+    "theta0", "theta1", "shift_start_op", "shift_end_op", "rotate_every",
+    "seed", "deterministic", "repartition", "tick_every_drains",
+    "flip_delay_ticks", "split_min_tuples", "windows",
+    "drain_engine", "sim_mode",
+]
+
+# Result-object keys ext_stream must report, and the fields each carries.
+EXT_STREAM_RESULT_KEYS = {
+    "ingest": ["tuples", "batches", "tuples_per_sec"],
+    "store": ["buckets", "depth", "epoch", "imbalance"],
+    "rebalance": ["jobs", "splits", "merges", "stale", "abandoned",
+                  "ticks"],
+    "phase_pre": ["reads", "scan_p50", "scan_p95", "scan_p99", "p99_us"],
+    "phase_shift": ["reads", "scan_p50", "scan_p95", "scan_p99", "p99_us"],
+    "phase_post": ["reads", "scan_p50", "scan_p95", "scan_p99", "p99_us"],
+    "keys_accounted": ["ingested", "resident", "lost", "duplicated",
+                       "checksum_ok"],
+    "foreground": ["jobs", "completed", "failed"],
+}
+
 # Result-object keys ext_cluster must report, and the fields each carries.
 EXT_CLUSTER_RESULT_KEYS = {
     "latency": ["p50_us", "p95_us", "p99_us", "mean_us"],
@@ -132,6 +177,16 @@ CASES = [
      EXT_CLUSTER_METRICS,
      ["nodes", "buckets", "keys", "zipf", "migration", "rebalance_every",
       "rebalance_top_k", "link_gbs", "sim_mode"]),
+    # The streaming store (docs/streaming.md): drifting-Zipf ingest with
+    # online repartitioning on ...
+    ("ext_stream", "ext_stream",
+     ["--json", "--ops", "2000", "--clients", "3"],
+     EXT_STREAM_METRICS_ON, EXT_STREAM_CONFIG_KEYS),
+    # ... and the A/B control arm with repartitioning off: same envelope,
+    # zero rebalance jobs, and the key audit must still hold.
+    ("ext_stream_off", "ext_stream",
+     ["--json", "--ops", "2000", "--clients", "3", "--repartition", "off"],
+     EXT_STREAM_METRICS, EXT_STREAM_CONFIG_KEYS),
 ]
 
 # Result-object keys ext_service must report per priority class and per
@@ -257,6 +312,35 @@ def validate(name: str, doc: dict, expected_metrics,
                  f"{mig['migrations']} (one migration == one epoch)")
         if doc["config"].get("migration") == 1 and mig["rebalances"] == 0:
             fail(f"{name}: migration on but no rebalance scan ran")
+    if name.startswith("ext_stream"):
+        for rkey, fields in EXT_STREAM_RESULT_KEYS.items():
+            obj = doc["results"].get(rkey)
+            if not isinstance(obj, dict):
+                fail(f"{name}: result object '{rkey}' missing "
+                     f"(have: {sorted(doc['results'])})")
+            for field in fields:
+                if field not in obj:
+                    fail(f"{name}: result '{rkey}' lacks '{field}'")
+        for w in range(int(doc["config"]["windows"])):
+            obj = doc["results"].get(f"window_{w:02d}")
+            if not isinstance(obj, dict):
+                fail(f"{name}: time-series row 'window_{w:02d}' missing")
+            for field in ("op_lo", "reads", "scan_p50", "scan_p99",
+                          "p99_us"):
+                if field not in obj:
+                    fail(f"{name}: window_{w:02d} lacks '{field}'")
+        acct = doc["results"]["keys_accounted"]
+        if acct["lost"] != 0 or acct["duplicated"] != 0:
+            fail(f"{name}: {acct['lost']} lost / {acct['duplicated']} "
+                 f"duplicated keys across epoch flips")
+        if acct["checksum_ok"] != 1:
+            fail(f"{name}: key fingerprint checksum mismatch")
+        if doc["config"].get("deterministic") == 1 and \
+                "determinism_hash" not in doc["results"]:
+            fail(f"{name}: deterministic run without determinism_hash")
+        if doc["config"].get("repartition") == 0 and \
+                doc["results"]["rebalance"]["jobs"] != 0:
+            fail(f"{name}: repartition off but rebalance jobs ran")
 
 
 def main() -> int:

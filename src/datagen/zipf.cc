@@ -6,6 +6,11 @@ namespace fpart {
 
 ZipfSampler::ZipfSampler(uint64_t n, double z, uint64_t seed)
     : n_(n == 0 ? 1 : n), z_(z), rng_(seed) {
+  Reshape(z);
+}
+
+void ZipfSampler::Reshape(double z) {
+  z_ = z;
   h_x1_ = H(1.5) - 1.0;
   h_n_ = H(static_cast<double>(n_) + 0.5);
   s_ = 2.0 - Hinv(H(2.5) - std::pow(2.0, -z_));
@@ -38,6 +43,59 @@ uint64_t ZipfSampler::Next() {
       return k;
     }
   }
+}
+
+namespace {
+
+// SplitMix64 finalizer: the per-generation rotation offset derivation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The ramp is quantized into this many equal theta steps so the sampler
+// re-derives its rejection-inversion constants O(steps) times per shift,
+// not once per sample. Endpoints are exact: frac==0 -> theta0 and any
+// t >= shift_end -> theta1.
+constexpr int kThetaSteps = 64;
+
+}  // namespace
+
+DriftingZipfSampler::DriftingZipfSampler(uint64_t n,
+                                         const ZipfDriftSchedule& schedule)
+    : n_(n == 0 ? 1 : n),
+      sched_(schedule),
+      current_theta_(schedule.theta0),
+      zipf_(n_, schedule.theta0, schedule.seed) {}
+
+double DriftingZipfSampler::ThetaAt(uint64_t t) const {
+  if (t < sched_.shift_start || sched_.shift_end <= sched_.shift_start) {
+    return t >= sched_.shift_start ? sched_.theta1 : sched_.theta0;
+  }
+  if (t >= sched_.shift_end) return sched_.theta1;
+  const double frac =
+      static_cast<double>(t - sched_.shift_start) /
+      static_cast<double>(sched_.shift_end - sched_.shift_start);
+  const double step =
+      std::floor(frac * kThetaSteps) / static_cast<double>(kThetaSteps);
+  return sched_.theta0 + (sched_.theta1 - sched_.theta0) * step;
+}
+
+uint64_t DriftingZipfSampler::GenerationAt(uint64_t t) const {
+  return sched_.rotate_every == 0 ? 0 : t / sched_.rotate_every;
+}
+
+uint64_t DriftingZipfSampler::NextAt(uint64_t t) {
+  const double theta = ThetaAt(t);
+  if (theta != current_theta_) {
+    zipf_.Reshape(theta);
+    current_theta_ = theta;
+  }
+  const uint64_t rank = zipf_.Next();  // [1, n], 1 most frequent
+  const uint64_t offset = Mix64(sched_.seed ^ GenerationAt(t)) % n_;
+  return (rank - 1 + offset) % n_;
 }
 
 }  // namespace fpart

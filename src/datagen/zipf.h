@@ -25,6 +25,11 @@ class ZipfSampler {
   /// Draw one rank in [1, n]; rank 1 is the most frequent.
   uint64_t Next();
 
+  /// Re-derive the rejection-inversion constants for a new exponent while
+  /// keeping the RNG stream — the primitive the drifting sampler below
+  /// ramps the skew with, without perturbing determinism.
+  void Reshape(double z);
+
   uint64_t n() const { return n_; }
   double z() const { return z_; }
 
@@ -39,6 +44,57 @@ class ZipfSampler {
   double h_x1_;
   double h_n_;
   double s_;
+};
+
+/// \brief Schedule of a time-varying ("drifting") Zipf workload.
+///
+/// Two independent drifts, both seedable and replayable:
+///  * the exponent ramps piecewise-linearly theta0 -> theta1 over the
+///    sample-index window [shift_start, shift_end) — before the window the
+///    skew is theta0, after it theta1;
+///  * the *identity* of the hot keys rotates every `rotate_every` samples
+///    (0 = never): generation g applies a SplitMix64(seed, g)-derived
+///    offset to the rank->key mapping, so yesterday's head key becomes
+///    cold even when the exponent alone is steady.
+struct ZipfDriftSchedule {
+  double theta0 = 0.5;
+  double theta1 = 1.2;
+  uint64_t shift_start = 0;
+  uint64_t shift_end = 0;
+  uint64_t rotate_every = 0;
+  uint64_t seed = 42;
+};
+
+/// \brief Drifting-Zipf key generator over the key universe [0, n).
+///
+/// Time is a sample index, not wall clock, so a replay with the same
+/// schedule and seed regenerates the identical key stream. `NextAt(t)`
+/// lets several streams (e.g. the ingest writers and the read-side key
+/// picker of bench/ext_stream.cc) share one logical clock so their hot
+/// sets stay aligned while each keeps its own RNG.
+class DriftingZipfSampler {
+ public:
+  DriftingZipfSampler(uint64_t n, const ZipfDriftSchedule& schedule);
+
+  /// Key in [0, n) at the sampler's own clock, which then advances.
+  uint64_t Next() { return NextAt(clock_++); }
+  /// Key in [0, n) at external time `t`; advances only the RNG.
+  uint64_t NextAt(uint64_t t);
+
+  /// The (step-quantized) exponent in effect at sample index t.
+  double ThetaAt(uint64_t t) const;
+  /// Rotation generation at sample index t (0 when rotation is off).
+  uint64_t GenerationAt(uint64_t t) const;
+
+  uint64_t n() const { return n_; }
+  const ZipfDriftSchedule& schedule() const { return sched_; }
+
+ private:
+  uint64_t n_;
+  ZipfDriftSchedule sched_;
+  uint64_t clock_ = 0;
+  double current_theta_;
+  ZipfSampler zipf_;
 };
 
 }  // namespace fpart

@@ -1,0 +1,136 @@
+#include "stream/repartition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace fpart::stream {
+namespace {
+
+obs::Counter* JobsCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter(
+      "stream.rebalance.jobs", "jobs", "rebalance jobs submitted to svc");
+  return c;
+}
+
+}  // namespace
+
+RepartitionManager::RepartitionManager(StreamStore* store,
+                                       svc::Scheduler* scheduler,
+                                       RepartitionConfig config)
+    : store_(store),
+      scheduler_(scheduler),
+      config_(std::move(config)),
+      detector_(config_.detector) {
+  if (config_.tick_every_drains == 0) config_.tick_every_drains = 1;
+}
+
+RepartitionManager::~RepartitionManager() { Quiesce(); }
+
+uint64_t RepartitionManager::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return detector_.ticks();
+}
+
+uint64_t RepartitionManager::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+uint64_t RepartitionManager::jobs_abandoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_;
+}
+
+void RepartitionManager::OnDrain() {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++drain_count_ % config_.tick_every_drains != 0) return;
+  TickLocked();
+  if (config_.deterministic) CommitDueLocked(/*force=*/false);
+}
+
+void RepartitionManager::Quiesce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CommitDueLocked(/*force=*/true);
+}
+
+void RepartitionManager::TickLocked() {
+  const std::vector<RebalanceAction> actions =
+      detector_.Tick(store_->Stats(/*reset_appended=*/true));
+  for (const RebalanceAction& act : actions) {
+    // One rebuild per (pattern, depth) in flight: a second decision for
+    // the same bucket would only produce a stale commit.
+    const bool in_flight =
+        std::any_of(pending_.begin(), pending_.end(), [&](const Pending& p) {
+          return p.action.pattern == act.pattern &&
+                 p.action.depth == act.depth &&
+                 p.action.split == act.split;
+        });
+    if (in_flight) continue;
+
+    auto staged = std::make_shared<std::optional<StreamStore::Staged>>();
+    StreamStore* store = store_;
+    const bool commit_inline = !config_.deterministic;
+    svc::RebalanceJobSpec spec;
+    spec.cost_tuples = std::max<uint64_t>(1, act.tuples);
+    spec.work = [store, act, staged,
+                 commit_inline](const std::atomic<bool>* cancel) -> Status {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return Status::Cancelled("rebalance cancelled before prepare");
+      }
+      auto prep = act.split ? store->PrepareSplit(act.pattern, act.depth)
+                            : store->PrepareMerge(act.pattern, act.depth);
+      FPART_RETURN_NOT_OK(prep.status());
+      if (commit_inline) {
+        return store->Commit(std::move(prep).ValueUnsafe());
+      }
+      *staged = std::move(prep).ValueUnsafe();
+      return Status::OK();
+    };
+
+    svc::JobOptions opts;
+    opts.job_class = config_.job_class;
+    if (config_.deterministic) {
+      opts.arrival_seq = config_.next_arrival_seq ? config_.next_arrival_seq()
+                                                  : own_seq_++;
+      if (config_.virtual_now) {
+        opts.virtual_arrival_seconds = config_.virtual_now();
+      }
+    }
+    auto handle = scheduler_->Submit(spec, opts);
+    if (!handle.ok()) continue;  // queue full / shutting down: drop, re-detect
+    ++submitted_;
+    JobsCounter()->Add();
+    Pending p;
+    p.action = act;
+    p.handle = std::move(handle).ValueUnsafe();
+    p.due_tick = detector_.ticks() + config_.flip_delay_ticks;
+    p.staged = std::move(staged);
+    pending_.push_back(std::move(p));
+  }
+}
+
+void RepartitionManager::CommitDueLocked(bool force) {
+  const uint64_t now = detector_.ticks();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (!force && it->due_tick > now) {
+      ++it;
+      continue;
+    }
+    const svc::JobOutcome& out = it->handle.Wait();
+    bool committed = false;
+    if (config_.deterministic) {
+      if (out.state == svc::JobState::kCompleted && it->staged->has_value()) {
+        committed = store_->Commit(std::move(**it->staged)).ok();
+      }
+    } else {
+      committed = out.state == svc::JobState::kCompleted;
+    }
+    if (!committed) ++abandoned_;
+    it = pending_.erase(it);
+  }
+}
+
+}  // namespace fpart::stream

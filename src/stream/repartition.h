@@ -1,0 +1,119 @@
+// The control loop tying the streaming store to the svc scheduler: sample
+// bucket stats on an ingest-drain cadence, ask the hot-spot detector for
+// split/merge actions, and run each rebuild as a svc `kRebalance` job so
+// the maintenance work competes through the same WFQ class machinery as
+// foreground traffic (default kBestEffort — rebalancing yields to paying
+// queries, by construction rather than by luck).
+//
+// Job lifecycle (one action):
+//   Tick --emit--> Submit(RebalanceJobSpec)        [manager, drain cadence]
+//     -> worker runs PrepareSplit/PrepareMerge     [svc worker thread]
+//     -> live mode: worker commits immediately; the epoch flips as soon
+//        as the rebuild is done.
+//     -> deterministic mode: the staged rebuild parks in `pending_` and
+//        the *manager* commits it at a tick barrier `flip_delay_ticks`
+//        after the decision — a count-driven flip point that replays
+//        bit-identically regardless of worker timing (the store's stable
+//        scatter makes the flipped contents independent of when the
+//        worker's snapshot ran).
+//
+// Stale rebuilds (the layout moved between decision and prepare/commit)
+// fail their job with InvalidArgument and are counted, not retried: the
+// next tick re-detects against the new layout if the condition persists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "stream/hotspot.h"
+#include "stream/ingest.h"
+#include "svc/scheduler.h"
+
+namespace fpart::stream {
+
+/// \brief Manager knobs.
+struct RepartitionConfig {
+  HotspotConfig detector;
+  /// Master switch: the bench's --repartition off A/B arm.
+  bool enabled = true;
+  /// Run one detector tick every this many OnDrain() calls.
+  uint64_t tick_every_drains = 4;
+  /// Deterministic mode: ticks between a decision and its epoch flip.
+  uint64_t flip_delay_ticks = 1;
+  /// WFQ class the rebalance jobs are charged to.
+  svc::JobClass job_class = svc::JobClass::kBestEffort;
+  /// Must match the scheduler's mode. Deterministic managers must be
+  /// driven from a sequenced region (OpSequencer) — see ext_stream.
+  bool deterministic = false;
+  /// Deterministic mode, shared scheduler: the workload's contiguous
+  /// arrival-sequence counter (called once per submitted job, inside the
+  /// sequenced region). Null = the manager is the sole submitter and
+  /// numbers jobs itself.
+  std::function<uint64_t()> next_arrival_seq;
+  /// Deterministic mode: the workload's virtual clock, stamped as each
+  /// job's virtual arrival time. Null = 0.0.
+  std::function<double()> virtual_now;
+};
+
+/// \brief Schedules split/merge rebuilds of a StreamStore through a svc
+/// scheduler. Thread-safe; deterministic mode additionally requires all
+/// OnDrain()/Quiesce() calls to be externally ordered (sequenced region).
+class RepartitionManager {
+ public:
+  /// `store` and `scheduler` are borrowed and must outlive the manager;
+  /// call Quiesce() (or destroy the manager) before shutting the
+  /// scheduler down so staged rebuilds drain.
+  RepartitionManager(StreamStore* store, svc::Scheduler* scheduler,
+                     RepartitionConfig config);
+  ~RepartitionManager();
+
+  /// Ingest-side cadence hook: call once per completed store drain. Every
+  /// `tick_every_drains`-th call samples the store, runs one detector
+  /// tick, submits jobs for the emitted actions and (deterministic mode)
+  /// commits staged rebuilds whose barrier has passed.
+  void OnDrain();
+
+  /// Wait out every in-flight job and (deterministic mode) commit every
+  /// staged rebuild regardless of barrier. Idempotent.
+  void Quiesce();
+
+  uint64_t ticks() const;
+  uint64_t jobs_submitted() const;
+  /// Jobs that finished without producing a commit (stale layout or
+  /// cancellation).
+  uint64_t jobs_abandoned() const;
+
+  const RepartitionConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    RebalanceAction action;
+    svc::JobHandle handle;
+    uint64_t due_tick = 0;
+    /// Filled by the job's prepare phase (worker thread), consumed by the
+    /// committing side; the shared_ptr itself is the synchronization-free
+    /// handoff (Wait() on the handle orders the accesses).
+    std::shared_ptr<std::optional<StreamStore::Staged>> staged;
+  };
+
+  void TickLocked();
+  void CommitDueLocked(bool force);
+
+  StreamStore* const store_;
+  svc::Scheduler* const scheduler_;
+  RepartitionConfig config_;
+
+  mutable std::mutex mu_;
+  HotspotDetector detector_;        // guarded by mu_
+  std::vector<Pending> pending_;    // guarded by mu_
+  uint64_t drain_count_ = 0;        // guarded by mu_
+  uint64_t own_seq_ = 0;            // guarded by mu_
+  uint64_t submitted_ = 0;          // guarded by mu_
+  uint64_t abandoned_ = 0;          // guarded by mu_
+};
+
+}  // namespace fpart::stream

@@ -36,6 +36,12 @@ enum class JobKind {
   kPartition,
   /// Equi-join two relations (CPU radix join or the hybrid CPU+FPGA join).
   kJoin,
+  /// Layout maintenance on behalf of the streaming store (stream/
+  /// repartition.h): split a hot partition or merge cold buddies. Always
+  /// CPU-placed; competes through the same WFQ classes as foreground
+  /// jobs (default kBestEffort), which is the whole point — rebalance
+  /// work must not starve or be starved arbitrarily.
+  kRebalance,
 };
 
 /// Which backend a job was placed on.
@@ -95,6 +101,19 @@ struct JoinJobSpec {
   const Relation<Tuple8>* s = nullptr;
   uint32_t fanout = 2048;
   HashMethod hash = HashMethod::kMurmur;
+};
+
+/// \brief A layout-maintenance request as a service job. The scheduler
+/// treats the work as an opaque CPU-side function so svc stays independent
+/// of the stream layer; the stream's RepartitionManager owns the semantics
+/// (snapshot + rebuild a bucket, see stream/repartition.h).
+struct RebalanceJobSpec {
+  /// The maintenance work. Receives the job's cancel token (checked
+  /// cooperatively; return Status::Cancelled when honoured).
+  std::function<Status(const std::atomic<bool>* cancel)> work;
+  /// Tuples the rebuild will touch — the WFQ service demand and the basis
+  /// of the CPU placement estimate.
+  uint64_t cost_tuples = 1;
 };
 
 /// Sentinel: the scheduler assigns the arrival sequence itself.
@@ -168,6 +187,7 @@ struct JobRecord {
   JobKind kind = JobKind::kPartition;
   PartitionJobSpec partition;
   JoinJobSpec join;
+  RebalanceJobSpec rebalance;
   JobOptions opts;
 
   /// Priority class (copied from opts at submission; queue ordering key).

@@ -51,7 +51,19 @@ struct SvcMetrics {
   obs::Counter* class_completed[kNumJobClasses];
   obs::Counter* class_served_cost[kNumJobClasses];
   obs::Histogram* class_total_us[kNumJobClasses];
+  /// Placement-model prediction error |run - estimate| / run (percent),
+  /// per backend x job-size bucket. The feedback data the ROADMAP's EWMA
+  /// correction item needs: a skewed histogram here means the static
+  /// Section 4.8 constants are off for that (backend, size) cell.
+  obs::Histogram* place_err[3][3];
 };
+
+/// Job-size bucket (by demand tuples) of the svc.place.err_pct metrics.
+size_t PlaceErrSizeBucket(double demand_tuples) {
+  if (demand_tuples < 64.0 * 1024) return 0;         // small
+  if (demand_tuples < 1024.0 * 1024) return 1;       // medium
+  return 2;                                          // large
+}
 
 SvcMetrics& Metrics() {
   static SvcMetrics m = [] {
@@ -108,6 +120,16 @@ SvcMetrics& Metrics() {
       x.class_total_us[c] = reg.GetHistogram(
           prefix + ".total_us", "us", "submit -> completion in this class");
     }
+    static const char* kBackendNames[3] = {"cpu", "fpga", "hybrid"};
+    static const char* kSizeNames[3] = {"small", "medium", "large"};
+    for (size_t b = 0; b < 3; ++b) {
+      for (size_t s = 0; s < 3; ++s) {
+        x.place_err[b][s] = reg.GetHistogram(
+            std::string("svc.place.err_pct.") + kBackendNames[b] + "." +
+                kSizeNames[s],
+            "pct", "placement estimate error |run-est|/run*100");
+      }
+    }
     return x;
   }();
   return m;
@@ -126,6 +148,8 @@ const char* JobKindName(JobKind kind) {
       return "partition";
     case JobKind::kJoin:
       return "join";
+    case JobKind::kRebalance:
+      return "rebalance";
   }
   return "unknown";
 }
@@ -261,6 +285,19 @@ Result<JobHandle> Scheduler::Submit(const JoinJobSpec& spec,
   return SubmitRecord(std::move(rec));
 }
 
+Result<JobHandle> Scheduler::Submit(const RebalanceJobSpec& spec,
+                                    const JobOptions& opts) {
+  if (!spec.work) {
+    return Status::InvalidArgument("rebalance job has no work function");
+  }
+  auto rec = std::make_shared<JobRecord>();
+  rec->kind = JobKind::kRebalance;
+  rec->rebalance = spec;
+  rec->opts = opts;
+  if (rec->opts.pinned.has_value()) rec->opts.pinned = Backend::kCpu;
+  return SubmitRecord(std::move(rec));
+}
+
 Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("scheduler is shut down");
@@ -270,10 +307,18 @@ Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
                  ? rec->opts.arrival_seq
                  : next_seq_.fetch_add(1, std::memory_order_relaxed);
   rec->cls = rec->opts.job_class;
-  const uint64_t demand_tuples =
-      rec->kind == JobKind::kPartition
-          ? rec->partition.input->size()
-          : rec->join.r->size() + rec->join.s->size();
+  uint64_t demand_tuples = 1;
+  switch (rec->kind) {
+    case JobKind::kPartition:
+      demand_tuples = rec->partition.input->size();
+      break;
+    case JobKind::kJoin:
+      demand_tuples = rec->join.r->size() + rec->join.s->size();
+      break;
+    case JobKind::kRebalance:
+      demand_tuples = rec->rebalance.cost_tuples;
+      break;
+  }
   rec->wfq_cost = std::max(1.0, static_cast<double>(demand_tuples));
   rec->submit_seconds = NowSeconds();
   if (rec->opts.deadline_seconds > 0.0) {
@@ -328,7 +373,41 @@ void Scheduler::Shutdown() {
   worker_pools_.clear();
 }
 
+// Rebalance rebuilds are a memcpy-speed snapshot + one scatter pass; a
+// flat tuple rate is close enough for backlog accounting (the err_pct
+// histograms below tell us how close).
+constexpr double kRebalanceTuplesPerSecond = 250e6;
+
 void Scheduler::PlaceJob(JobRecord* rec) {
+  if (rec->kind == JobKind::kRebalance) {
+    // Always the host CPU: the rebuild manipulates host-resident buckets;
+    // there is no device kernel for it. Policy and pins are ignored, but
+    // the backlog/virtual-clock charging below matches the CPU path.
+    const double est = static_cast<double>(rec->rebalance.cost_tuples) /
+                       kRebalanceTuplesPerSecond;
+    rec->outcome.backend = Backend::kCpu;
+    rec->placed_estimate_seconds = est;
+    const double t_arrival = config_.deterministic
+                                 ? rec->opts.virtual_arrival_seconds
+                                 : rec->submit_seconds;
+    if (config_.deterministic) {
+      const size_t w = static_cast<size_t>(
+          std::min_element(virt_worker_free_.begin(),
+                           virt_worker_free_.end()) -
+          virt_worker_free_.begin());
+      const double start = std::max(t_arrival, virt_worker_free_[w]);
+      virt_worker_free_[w] = start + est;
+      rec->outcome.virtual_queue_seconds = start - t_arrival;
+      rec->outcome.virtual_run_seconds = est;
+    } else {
+      std::unique_lock<std::mutex> lock(ready_mu_);
+      cpu_backlog_seconds_ += est;
+      Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
+    }
+    Metrics().placed_cpu->Add();
+    return;
+  }
+
   PlacementInput in;
   in.kind = rec->kind;
   in.cpu_threads = config_.cpu_threads_per_job;
@@ -542,13 +621,32 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
                                " cancelled while queued");
   } else {
     obs::TraceSpan span("svc.run", "svc");
-    status = rec->kind == JobKind::kPartition
-                 ? RunPartitionJob(rec.get(), worker, &out)
-                 : RunJoinJob(rec.get(), worker, &out);
+    switch (rec->kind) {
+      case JobKind::kPartition:
+        status = RunPartitionJob(rec.get(), worker, &out);
+        break;
+      case JobKind::kJoin:
+        status = RunJoinJob(rec.get(), worker, &out);
+        break;
+      case JobKind::kRebalance:
+        status = RunRebalanceJob(rec.get(), &out);
+        break;
+    }
   }
   out.run_seconds = NowSeconds() - start_seconds;
   m.run_us->Record(ToMicros(out.run_seconds));
   m.total_us->Record(ToMicros(out.queue_seconds + out.run_seconds));
+  if (status.ok() && out.run_seconds > 0.0 &&
+      rec->placed_estimate_seconds > 0.0) {
+    // Feedback for the placement model: how far off was the estimate the
+    // backlog clocks were charged with, per backend x size bucket.
+    const double err_pct =
+        std::abs(out.run_seconds - rec->placed_estimate_seconds) /
+        out.run_seconds * 100.0;
+    m.place_err[static_cast<size_t>(out.backend)]
+               [PlaceErrSizeBucket(rec->wfq_cost)]
+                   ->Record(static_cast<uint64_t>(err_pct));
+  }
 
   // Credit the backlog charged at placement.
   if (!config_.deterministic) {
@@ -628,6 +726,17 @@ Status Scheduler::RunPartitionJob(JobRecord* rec, size_t worker,
   }
   out->checksum = HistogramChecksum(counts.data(), counts.size());
   return Status::OK();
+}
+
+Status Scheduler::RunRebalanceJob(JobRecord* rec, JobOutcome* out) {
+  auto& m = Metrics();
+  cpu_busy_.fetch_add(1, std::memory_order_relaxed);
+  const double t0 = NowSeconds();
+  Status status = rec->rebalance.work(&rec->cancel);
+  m.cpu_busy_us->Add(ToMicros(NowSeconds() - t0));
+  cpu_busy_.fetch_sub(1, std::memory_order_relaxed);
+  out->device_seconds = 0.0;
+  return status;
 }
 
 Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {

@@ -126,6 +126,10 @@ class Scheduler {
   /// Submit an equi-join job (same admission semantics).
   Result<JobHandle> Submit(const JoinJobSpec& spec,
                            const JobOptions& opts = {});
+  /// Submit a rebalance (layout maintenance) job. Always placed on the
+  /// CPU backend; the WFQ charges `cost_tuples` like any other demand.
+  Result<JobHandle> Submit(const RebalanceJobSpec& spec,
+                           const JobOptions& opts = {});
 
   /// Release a start_paused dispatcher.
   void Resume();
@@ -175,6 +179,7 @@ class Scheduler {
   void ExecuteJob(const std::shared_ptr<JobRecord>& rec, size_t worker);
   Status RunPartitionJob(JobRecord* rec, size_t worker, JobOutcome* out);
   Status RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out);
+  Status RunRebalanceJob(JobRecord* rec, JobOutcome* out);
   void CompleteJob(const std::shared_ptr<JobRecord>& rec, JobState state,
                    Status status, JobOutcome outcome);
 
