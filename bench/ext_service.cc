@@ -52,8 +52,21 @@
 //                      (default: FPART_AFFINITY or none). Pinning changes
 //                      only where threads run — the deterministic replay
 //                      hash is unaffected.
+//   --admission B      1 = SLO-aware admission control (svc/admission.h):
+//                      jobs predicted to miss their class SLO are rejected
+//                      with SloError instead of queued (default 0)
+//   --slo I,B,E        per-class latency SLO seconds
+//                      interactive,batch,besteffort; 0 disables that
+//                      class's SLO (default 0.5,2,8; only applied with
+//                      --admission 1)
+//   --autoscale B      1 = live mode only: a monitor thread polls the
+//                      svc.slo.pressure signal and applies its recommended
+//                      worker delta via SetActiveWorkers (default 0)
+//   --max_workers N    autoscaling headroom: worker threads created but
+//                      parked beyond --workers (0 = no headroom)
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -95,6 +108,10 @@ struct Options {
   bool sim_cache_warmup = false;
   double xcheck = 0.0;
   AffinityPolicy affinity = AffinityPolicyFromEnv();
+  bool admission = false;
+  std::array<double, svc::kNumJobClasses> slo_seconds = {0.5, 2.0, 8.0};
+  bool autoscale = false;
+  size_t max_workers = 0;
 };
 
 // Deterministic per-job priority class: a service sees a few interactive
@@ -254,11 +271,43 @@ int Run(const Options& opt) {
   config.xcheck = opt.xcheck;
   config.affinity = opt.affinity;
   config.name = "svc";
+  config.slo.enabled = opt.admission;
+  if (opt.admission) config.slo.class_slo_seconds = opt.slo_seconds;
+  config.max_workers = opt.max_workers;
   svc::Scheduler scheduler(config);
 
   // One handle slot per job, each written by exactly one client thread.
   std::vector<svc::JobHandle> handles(opt.jobs);
   std::vector<uint8_t> shed(opt.jobs, 0);
+  // Live-mode SLO rejections surface synchronously at Submit; deterministic
+  // mode delivers them as kRejected outcomes instead.
+  std::vector<uint8_t> slo_rejected(opt.jobs, 0);
+
+  // Autoscaling monitor (live mode): poll the pressure signal and apply
+  // its recommended worker delta. This is the closed loop the
+  // svc.slo.recommended_worker_delta gauge exists for.
+  std::atomic<bool> autoscale_stop{false};
+  std::atomic<uint64_t> autoscale_events{0};
+  std::thread autoscaler;
+  const bool autoscale_on = opt.autoscale && !opt.deterministic;
+  if (autoscale_on) {
+    autoscaler = std::thread([&] {
+      while (!autoscale_stop.load(std::memory_order_acquire)) {
+        const auto p = scheduler.slo_pressure();
+        if (p.worker_delta != 0) {
+          const size_t now = scheduler.active_workers();
+          const long long want =
+              static_cast<long long>(now) + p.worker_delta;
+          if (want >= 1 &&
+              scheduler.SetActiveWorkers(static_cast<size_t>(want)) &&
+              scheduler.active_workers() != now) {
+            autoscale_events.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
 
   const auto wall0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
@@ -299,6 +348,8 @@ int Run(const Options& opt) {
           handles[i] = std::move(handle).ValueUnsafe();
         } else if (handle.status().IsCapacityError()) {
           shed[i] = 1;  // live-mode backpressure
+        } else if (handle.status().IsSloError()) {
+          slo_rejected[i] = 1;  // live-mode admission rejection
         } else {
           std::fprintf(stderr, "submit %llu failed: %s\n",
                        static_cast<unsigned long long>(i),
@@ -308,6 +359,10 @@ int Run(const Options& opt) {
     });
   }
   for (std::thread& t : clients) t.join();
+  if (autoscale_on) {
+    autoscale_stop.store(true, std::memory_order_release);
+    autoscaler.join();
+  }
   scheduler.Shutdown();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
@@ -316,15 +371,24 @@ int Run(const Options& opt) {
   // Account every job exactly once; a slot that is neither shed nor done
   // is a lost job (and a hard failure of the run).
   uint64_t completed = 0, failed = 0, cancelled = 0, shed_count = 0,
-           lost = 0;
+           lost = 0, rejected_count = 0, missed_after_admit = 0;
   uint64_t placed_cpu = 0, placed_fpga = 0, placed_hybrid = 0;
   std::vector<double> latencies;
   latencies.reserve(opt.jobs);
   std::array<std::vector<double>, svc::kNumJobClasses> class_latencies;
+  // The latency the SLO is judged on: the virtual (model-clock) latency in
+  // deterministic mode — the quantity the admission prediction is exact
+  // for — and the wall latency in live mode.
+  std::array<std::vector<double>, svc::kNumJobClasses> class_slo_lat;
+  std::array<uint64_t, svc::kNumJobClasses> class_within_slo{};
   uint64_t determinism_hash = 0xcbf29ce484222325ULL;
   for (uint64_t i = 0; i < opt.jobs; ++i) {
     if (shed[i] != 0) {
       ++shed_count;
+      continue;
+    }
+    if (slo_rejected[i] != 0) {
+      ++rejected_count;
       continue;
     }
     if (!handles[i].valid()) {
@@ -352,6 +416,12 @@ int Run(const Options& opt) {
       case svc::JobState::kShed:
         ++shed_count;
         continue;
+      case svc::JobState::kRejected:
+        // Rejected jobs never fold into the determinism hash — which is
+        // exactly why the hash is admission-policy-invariant whenever the
+        // controller rejects nothing (the low-load CI gate).
+        ++rejected_count;
+        continue;
       default:
         ++lost;
         continue;
@@ -368,8 +438,22 @@ int Run(const Options& opt) {
         break;
     }
     const double latency = outcome->queue_seconds + outcome->run_seconds;
+    const size_t prio = static_cast<size_t>(job_prio[i]);
     latencies.push_back(latency);
-    class_latencies[static_cast<size_t>(job_prio[i])].push_back(latency);
+    class_latencies[prio].push_back(latency);
+    if (opt.admission && outcome->state == svc::JobState::kCompleted) {
+      const double slo_latency =
+          opt.deterministic ? outcome->virtual_queue_seconds +
+                                  outcome->virtual_run_seconds
+                            : latency;
+      class_slo_lat[prio].push_back(slo_latency);
+      const double slo = opt.slo_seconds[prio];
+      if (slo <= 0.0 || slo_latency <= slo) ++class_within_slo[prio];
+      if (outcome->admit_budget_seconds > 0.0 &&
+          slo_latency > outcome->admit_budget_seconds) {
+        ++missed_after_admit;
+      }
+    }
     determinism_hash = Fnv1a(determinism_hash, i);
     determinism_hash = Fnv1a(
         determinism_hash, static_cast<uint64_t>(job_prio[i]));
@@ -418,6 +502,19 @@ int Run(const Options& opt) {
                     (opt.sim_cache_warmup && opt.sim_cache) ? 1 : 0);
   report.ConfigDouble("xcheck", opt.xcheck);
   report.ConfigStr("affinity", AffinityPolicyName(opt.affinity));
+  report.ConfigUInt("admission", opt.admission ? 1 : 0);
+  {
+    std::string s;
+    for (size_t c = 0; c < svc::kNumJobClasses; ++c) {
+      if (c > 0) s += ",";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", opt.slo_seconds[c]);
+      s += buf;
+    }
+    report.ConfigStr("slo_seconds", s);
+  }
+  report.ConfigUInt("autoscale", autoscale_on ? 1 : 0);
+  report.ConfigUInt("max_workers", scheduler.config().max_workers);
   report.ConfigDouble("scale", BenchScale());
   report.Result("latency", {{"p50_us", pct(0.50)},
                             {"p95_us", pct(0.95)},
@@ -457,6 +554,22 @@ int Run(const Options& opt) {
             contended_sum > 0
                 ? scheduler.class_contended_cost(cls) / contended_sum
                 : 0.0}});
+      if (opt.admission) {
+        auto& sv = class_slo_lat[c];
+        std::sort(sv.begin(), sv.end());
+        const double done = static_cast<double>(sv.size());
+        report.Result(
+            std::string("slo_") + svc::JobClassName(cls),
+            {{"slo_us", opt.slo_seconds[c] * 1e6},
+             {"completed", done},
+             {"within_slo", static_cast<double>(class_within_slo[c])},
+             {"attainment",
+              done > 0 ? static_cast<double>(class_within_slo[c]) / done
+                       : 1.0},
+             {"p99_us", pct_of(sv, 0.99)},
+             {"rejected",
+              static_cast<double>(scheduler.admission().rejected(cls))}});
+      }
     }
   }
   // Per-device utilization mix of the FPGA pool.
@@ -484,7 +597,27 @@ int Run(const Options& opt) {
                  {"failed", static_cast<double>(failed)},
                  {"cancelled", static_cast<double>(cancelled)},
                  {"shed", static_cast<double>(shed_count)},
+                 {"rejected", static_cast<double>(rejected_count)},
                  {"lost", static_cast<double>(lost)}});
+  if (opt.admission) {
+    const svc::AdmissionController& adm = scheduler.admission();
+    report.Result(
+        "admission",
+        {{"considered", static_cast<double>(adm.considered())},
+         {"admitted", static_cast<double>(adm.admitted())},
+         {"rejected", static_cast<double>(rejected_count)},
+         {"rejected_slo", static_cast<double>(adm.rejected_slo())},
+         {"rejected_deadline", static_cast<double>(adm.rejected_deadline())},
+         {"missed_after_admit", static_cast<double>(missed_after_admit)}});
+  }
+  if (autoscale_on) {
+    report.Result(
+        "autoscale",
+        {{"events", static_cast<double>(
+              autoscale_events.load(std::memory_order_relaxed))},
+         {"final_workers",
+          static_cast<double>(scheduler.active_workers())}});
+  }
   if (opt.sim_cache_warmup && opt.sim_cache) {
     report.Result("warmup",
                   {{"runs", static_cast<double>(warmup_runs)},
@@ -505,7 +638,8 @@ int Run(const Options& opt) {
   report.ResultUInt("determinism_hash", determinism_hash);
   report.Print();
 
-  const uint64_t accounted = completed + failed + cancelled + shed_count;
+  const uint64_t accounted =
+      completed + failed + cancelled + shed_count + rejected_count;
   if (lost != 0 || accounted != opt.jobs) {
     std::fprintf(stderr,
                  "job accounting broken: %llu accounted of %llu (%llu lost)\n",
@@ -515,6 +649,15 @@ int Run(const Options& opt) {
     return 1;
   }
   if (failed != 0) return 1;
+  if (opt.admission && opt.deterministic && missed_after_admit != 0) {
+    // In deterministic mode the admission prediction equals the virtual
+    // latency exactly, so an admitted-then-missed job is a scheduler bug.
+    std::fprintf(stderr,
+                 "%llu admitted jobs missed their budget in deterministic "
+                 "mode (must be 0)\n",
+                 static_cast<unsigned long long>(missed_after_admit));
+    return 1;
+  }
   return 0;
 }
 
@@ -609,6 +752,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--xcheck must be in [0, 1]\n");
         return 2;
       }
+    } else if (fpart::ParseFlag(argc, argv, &i, "--admission", &v)) {
+      opt.admission = std::strtoull(v.c_str(), nullptr, 10) != 0;
+    } else if (fpart::ParseFlag(argc, argv, &i, "--slo", &v)) {
+      char* cursor = v.data();
+      for (size_t c = 0; c < fpart::svc::kNumJobClasses; ++c) {
+        opt.slo_seconds[c] = std::strtod(cursor, &cursor);
+        if (*cursor == ',') ++cursor;
+        if (opt.slo_seconds[c] < 0.0) {
+          std::fprintf(stderr, "--slo needs 3 non-negative seconds\n");
+          return 2;
+        }
+      }
+    } else if (fpart::ParseFlag(argc, argv, &i, "--autoscale", &v)) {
+      opt.autoscale = std::strtoull(v.c_str(), nullptr, 10) != 0;
+    } else if (fpart::ParseFlag(argc, argv, &i, "--max_workers", &v)) {
+      opt.max_workers = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;

@@ -248,9 +248,12 @@ int Run(const Options& opt) {
   svc::Scheduler scheduler(sched_cfg);
 
   std::atomic<uint64_t> arrival_seq{0};
-  // The op currently executing stamps its virtual arrival here; in
-  // deterministic mode every access happens inside the sequenced region.
-  double virt_now = 0.0;
+  // The op currently executing stamps its virtual arrival here. In
+  // deterministic mode every access happens inside the sequenced region;
+  // in live mode the stamps are concurrent (and unread — the virtual_now
+  // callback is only installed for deterministic runs), so the cell must
+  // still be atomic to keep the racing dead stores defined.
+  std::atomic<double> virt_now{0.0};
 
   stream::RepartitionConfig mgr_cfg;
   mgr_cfg.enabled = opt.repartition;
@@ -266,7 +269,9 @@ int Run(const Options& opt) {
     mgr_cfg.next_arrival_seq = [&arrival_seq] {
       return arrival_seq.fetch_add(1, std::memory_order_relaxed);
     };
-    mgr_cfg.virtual_now = [&virt_now] { return virt_now; };
+    mgr_cfg.virtual_now = [&virt_now] {
+      return virt_now.load(std::memory_order_relaxed);
+    };
   }
   stream::RepartitionManager manager(&store, &scheduler, mgr_cfg);
 
@@ -298,7 +303,7 @@ int Run(const Options& opt) {
     ReadStats& st = stats[c];
     for (uint64_t i = c; i < opt.ops; i += opt.clients) {
       if (opt.deterministic) sequencer.Enter(i);
-      virt_now = w.arrivals[i];
+      virt_now.store(w.arrivals[i], std::memory_order_relaxed);
       if (w.kinds[i] == OpKind::kIngest) {
         const Tuple8* tuples =
             w.ingest.data() + static_cast<size_t>(w.ordinal[i]) * batch;

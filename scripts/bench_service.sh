@@ -11,6 +11,15 @@
 #                         load (virtual arrivals/s) x admission bound.
 #                         The shed/completed split and the per-class p99s
 #                         show where admission control starts paying.
+#   adm_r<rate>_q8192     the same offered loads with SLO-aware admission
+#                         control on (--admission 1 --slo 0.5,2,8): the
+#                         "admission" result row records the
+#                         considered/admitted/rejected split, and
+#                         missed_after_admit must be 0 — the controller's
+#                         deterministic predictions are exact, so an
+#                         admitted job never finishes past its budget.
+#                         Compare against sat_r<rate>_q8192 (admission
+#                         off) for the attainment-vs-throughput trade.
 # Flatten with scripts/bench_to_csv.py (it unpacks wrapper objects).
 # Usage: scripts/bench_service.sh [build_dir] [jobs] [clients] [devices]
 #                                 [extra ext_service flags...]
@@ -52,6 +61,18 @@ for rate in 4000 16000 64000; do
       > "$tmp/sat_r${rate}_q${queue}.json"
     sweep_keys="$sweep_keys sat_r${rate}_q${queue}"
   done
+done
+
+# Admission A/B at the same offered loads: wide queue so capacity shedding
+# stays out of the picture and the SLO controller is the only gate.
+for rate in 4000 16000 64000; do
+  "$build_dir/bench/ext_service" --json --jobs "$sat_jobs" \
+    --clients "$clients" --fpga_devices 2 \
+    --sim_mode analytical --sim_cache 1 --sim_cache_warmup 1 \
+    --rate "$rate" --queue 8192 \
+    --admission 1 --slo 0.5,2,8 "$@" \
+    > "$tmp/adm_r${rate}_q8192.json"
+  sweep_keys="$sweep_keys adm_r${rate}_q8192"
 done
 
 {

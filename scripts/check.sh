@@ -6,10 +6,16 @@
 # paths are all exercised regardless of the build host.
 #
 # The tsan suite builds with ThreadSanitizer and runs the concurrency-
-# heavy binaries (svc_test, svc_property_test, cluster_test, stream_test,
-# common_test, obs_test, sim_analytical_test's concurrent sim-cache races,
-# plus ext_service, ext_cluster and ext_stream smoke replays) directly —
-# the full ctest matrix is too slow under TSan to be a useful gate.
+# heavy binaries (svc_test, svc_property_test, svc_admission_test,
+# cluster_test, stream_test, common_test, obs_test, sim_analytical_test's
+# concurrent sim-cache races, plus ext_service, ext_cluster and ext_stream
+# smoke replays) directly — the full ctest matrix is too slow under TSan
+# to be a useful gate.
+#
+# Each run_suite pass also re-runs the `svc_admission` ctest label on its
+# own: the label groups the SLO-admission and property tests, and the
+# dedicated pass keeps "did admission regress?" answerable from the log
+# without digging through the full matrix.
 #
 # Usage: scripts/check.sh [jobs] [suite...]
 #   suite: any of default, asan, tsan, native (default/asan/native when
@@ -39,6 +45,8 @@ run_suite() {
         -j "$jobs")
     fi
   done
+  echo "=== ctest $build_dir [-L svc_admission] ===" >&2
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs" -L svc_admission)
 }
 
 run_tsan_suite() {
@@ -48,11 +56,11 @@ run_tsan_suite() {
     -DFPART_SANITIZE_THREAD=ON -DFPART_BUILD_BENCHMARKS=ON \
     -DFPART_BUILD_EXAMPLES=OFF >&2
   cmake --build "$build_dir" -j "$jobs" \
-    --target svc_test svc_property_test cluster_test stream_test \
-    common_test obs_test sim_analytical_test ext_service ext_cluster \
-    ext_stream >&2
-  for bin in svc_test svc_property_test cluster_test stream_test \
-             common_test obs_test; do
+    --target svc_test svc_property_test svc_admission_test cluster_test \
+    stream_test common_test obs_test sim_analytical_test ext_service \
+    ext_cluster ext_stream >&2
+  for bin in svc_test svc_property_test svc_admission_test cluster_test \
+             stream_test common_test obs_test; do
     echo "=== tsan $bin ===" >&2
     FPART_SCALE=0.0625 "$build_dir/tests/$bin"
   done
@@ -71,6 +79,10 @@ run_tsan_suite() {
     "$build_dir/bench/ext_service" --json \
     --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 \
     --sim_mode analytical --sim_cache 1 --sim_cache_warmup 1 > /dev/null
+  echo "=== tsan ext_service admission+autoscale smoke ===" >&2
+  FPART_SCALE=0.0625 "$build_dir/bench/ext_service" --json \
+    --jobs 1500 --clients 8 --workers 4 --fpga_devices 2 \
+    --admission 1 --slo 0.5,2,8 --autoscale 1 --max_workers 6 > /dev/null
   echo "=== tsan ext_cluster smoke (4 nodes, migration on) ===" >&2
   FPART_SCALE=0.0625 "$build_dir/bench/ext_cluster" --json \
     --jobs 1000 --clients 4 --nodes 4 --zipf 1.2 \

@@ -162,6 +162,31 @@ CASES = [
                             "sim.cache.entries", "sim.cache.bytes",
                             "sim.analytical.error_pct"],
      ["sim_mode", "sim_cache", "sim_cache_warmup", "xcheck", "affinity"]),
+    # SLO-aware admission control (svc/admission.h): the run must publish
+    # the svc.adm.*/svc.slo.* account, the per-class slo_* attainment rows
+    # and the "admission" result row; deterministic mode additionally
+    # proves zero admitted-then-missed (the binary exits non-zero
+    # otherwise, which the returncode check above already enforces).
+    ("ext_service_admission", "ext_service",
+     ["--json", "--jobs", "2000", "--clients", "4",
+      "--fpga_devices", "2", "--classes", "8,3,1",
+      "--sim_mode", "analytical", "--sim_cache", "1",
+      "--deterministic", "1", "--rate", "16000",
+      "--admission", "1", "--slo", "0.5,2,8"],
+     EXT_SERVICE_METRICS + ["svc.adm.considered", "svc.adm.admitted",
+                            "svc.adm.rejected.slo",
+                            "svc.adm.rejected.deadline",
+                            "svc.adm.predicted_us",
+                            "svc.slo.rejected.interactive",
+                            "svc.slo.rejected.batch",
+                            "svc.slo.rejected.besteffort",
+                            "svc.slo.pressure",
+                            "svc.slo.recommended_worker_delta",
+                            "svc.slo.recommended_device_delta",
+                            "svc.adm.correction.cpu.small",
+                            "svc.adm.correction.fpga.large"],
+     ["sim_mode", "sim_cache", "admission", "slo_seconds", "autoscale",
+      "max_workers"]),
     # The cluster bench (docs/distributed.md): shard-routed federation of
     # service nodes, migration off ...
     ("ext_cluster", "ext_cluster",
@@ -283,6 +308,32 @@ def validate(name: str, doc: dict, expected_metrics,
             if not isinstance(warm, dict) or "runs" not in warm:
                 fail(f"{name}: sim_cache_warmup=1 but no warmup result "
                      f"row with a 'runs' field")
+        if doc["config"].get("admission") == 1:
+            adm = doc["results"].get("admission")
+            if not isinstance(adm, dict):
+                fail(f"{name}: admission=1 but no 'admission' result row")
+            for field in ("considered", "admitted", "rejected",
+                          "rejected_slo", "rejected_deadline",
+                          "missed_after_admit"):
+                if field not in adm:
+                    fail(f"{name}: admission row lacks '{field}'")
+            # The tentpole invariant: an admitted job never finishes past
+            # the budget its (deterministic-mode exact) prediction fit.
+            if doc["config"].get("deterministic") == 1 and \
+                    adm["missed_after_admit"] != 0:
+                fail(f"{name}: {adm['missed_after_admit']} admitted jobs "
+                     f"missed their budget in deterministic mode")
+            if adm["considered"] < adm["admitted"]:
+                fail(f"{name}: considered {adm['considered']} < admitted "
+                     f"{adm['admitted']}")
+            for cls in ("interactive", "batch", "besteffort"):
+                row = doc["results"].get(f"slo_{cls}")
+                if not isinstance(row, dict):
+                    fail(f"{name}: admission=1 but no 'slo_{cls}' row")
+                for field in ("slo_us", "completed", "within_slo",
+                              "attainment", "p99_us", "rejected"):
+                    if field not in row:
+                        fail(f"{name}: slo_{cls} lacks '{field}'")
     if name.startswith("ext_cluster"):
         for rkey, fields in EXT_CLUSTER_RESULT_KEYS.items():
             obj = doc["results"].get(rkey)

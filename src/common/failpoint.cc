@@ -1,0 +1,84 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+namespace fpart {
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* reg = new FailpointRegistry();
+  return *reg;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  const char* env = std::getenv("FPART_FAILPOINT");
+  if (env != nullptr && env[0] != '\0') ArmFromSpec(env);
+}
+
+size_t FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  size_t armed = 0;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    uint64_t count = std::numeric_limits<uint64_t>::max();
+    const size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      count = std::strtoull(entry.c_str() + colon + 1, nullptr, 10);
+      entry.resize(colon);
+    }
+    if (entry.empty() || count == 0) continue;
+    Arm(entry, count);
+    ++armed;
+  }
+  return armed;
+}
+
+void FailpointRegistry::Arm(const std::string& name, uint64_t count) {
+  if (count == 0) {
+    Disarm(name);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[name];
+  if (p.remaining == 0) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  p.remaining = count;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || it->second.remaining == 0) return;
+  it->second.remaining = 0;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) {
+    if (p.remaining != 0) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  points_.clear();
+}
+
+bool FailpointRegistry::Fire(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || it->second.remaining == 0) return false;
+  --it->second.remaining;
+  ++it->second.fired;
+  if (it->second.remaining == 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+uint64_t FailpointRegistry::fired(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace fpart

@@ -1,0 +1,88 @@
+// Fault-injection points for tests: named sites in production code that
+// can be armed to force an error branch which otherwise only fires under
+// real races or real hardware faults (a device run failing mid-lease, the
+// admission queue filling at the exact wrong moment, a repartition commit
+// losing its epoch race).
+//
+// A failpoint is a cheap inline check at the site:
+//
+//   if (Failpoint("svc.device.run")) return Status::Internal("...");
+//
+// Disarmed (the default) the check is one relaxed atomic load of a global
+// armed-count — no lock, no string compare — so production paths pay
+// nothing. Tests arm points programmatically:
+//
+//   FailpointRegistry::Global().Arm("svc.device.run", /*count=*/1);
+//
+// or through the environment (picked up once, at first registry use):
+//
+//   FPART_FAILPOINT="svc.device.run:1,stream.commit.stale"
+//
+// where the optional `:count` limits how many times the point fires
+// (unlimited when omitted). Arming is process-global; tests should Disarm
+// (or ClearAll) what they arm so suites stay independent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+
+namespace fpart {
+
+class FailpointRegistry {
+ public:
+  /// The process-wide registry. First use parses FPART_FAILPOINT.
+  static FailpointRegistry& Global();
+
+  /// Arm `name` to fire `count` times (default: unlimited).
+  void Arm(const std::string& name,
+           uint64_t count = std::numeric_limits<uint64_t>::max());
+  /// Disarm `name`; its fired() tally survives until ClearAll().
+  void Disarm(const std::string& name);
+  /// Disarm everything and reset all tallies.
+  void ClearAll();
+
+  /// Site-side check: true if `name` is armed with budget remaining
+  /// (consumes one firing). Prefer the Failpoint() wrapper below — it
+  /// short-circuits on the armed-count fast path.
+  bool Fire(const char* name);
+
+  /// Times `name` actually fired since the last ClearAll().
+  uint64_t fired(const std::string& name) const;
+  /// Total armed points (the fast-path guard).
+  int armed() const { return armed_count_.load(std::memory_order_relaxed); }
+
+  /// Arm from a spec string ("name[:count][,name...]"); used for the
+  /// FPART_FAILPOINT environment knob and directly testable. Returns the
+  /// number of points armed.
+  size_t ArmFromSpec(const std::string& spec);
+
+ private:
+  FailpointRegistry();
+  FPART_DISALLOW_COPY_AND_ASSIGN(FailpointRegistry);
+
+  struct Point {
+    uint64_t remaining = 0;
+    uint64_t fired = 0;
+  };
+
+  // armed_count_ counts points with remaining budget; sites only take the
+  // lock when it is non-zero, so the disarmed cost is one relaxed load.
+  std::atomic<int> armed_count_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+/// The site-side check. Disarmed cost: one relaxed atomic load.
+inline bool Failpoint(const char* name) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  if (reg.armed() == 0) return false;
+  return reg.Fire(name);
+}
+
+}  // namespace fpart

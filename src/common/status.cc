@@ -28,6 +28,8 @@ const char* CodeName(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kSloError:
+      return "SLO violation";
   }
   return "Unknown";
 }

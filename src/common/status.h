@@ -27,6 +27,11 @@ enum class StatusCode : int8_t {
   /// The operation's cancellation token fired (svc job cancellation); the
   /// work was abandoned at the next check point and no result exists.
   kCancelled = 8,
+  /// SLO-aware admission rejected the job: its corrected completion-time
+  /// prediction misses the deadline or the class latency SLO
+  /// (svc/admission.h). Distinct from kCapacityError, which signals a
+  /// full queue regardless of feasibility.
+  kSloError = 9,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -64,6 +69,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status SloError(std::string msg) {
+    return Status(StatusCode::kSloError, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   bool IsPartitionOverflow() const {
@@ -74,6 +82,8 @@ class Status {
   bool IsCapacityError() const {
     return code() == StatusCode::kCapacityError;
   }
+  /// SLO-feasibility rejection from the svc admission controller.
+  bool IsSloError() const { return code() == StatusCode::kSloError; }
 
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
   const std::string& message() const;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "datagen/relation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -423,6 +424,11 @@ Status StreamStore::Commit(Staged staged) {
     m.stale->Add();
     return Status::InvalidArgument(what);
   };
+  if (Failpoint("stream.commit.stale")) {
+    // Fault injection: take the stale-commit abort path as if the layout
+    // had moved on, regardless of the real directory state.
+    return stale("stale commit: failpoint stream.commit.stale");
+  }
 
   if (staged.split) {
     if (staged.pattern >= dir_.size() ||

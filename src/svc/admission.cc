@@ -1,0 +1,289 @@
+#include "svc/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fpart::svc {
+namespace {
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleOf(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+struct AdmMetrics {
+  obs::Counter* considered;
+  obs::Counter* admitted;
+  obs::Counter* rejected_slo;
+  obs::Counter* rejected_deadline;
+  obs::Counter* class_rejected[kNumJobClasses];
+  obs::Histogram* predicted_us;
+  obs::Gauge* correction[kNumBackends][kNumSizeClasses];
+  obs::Gauge* pressure;
+  obs::Gauge* worker_delta;
+  obs::Gauge* device_delta;
+  obs::Histogram* place_err[kNumBackends][kNumSizeClasses];
+};
+
+AdmMetrics& Metrics() {
+  static AdmMetrics m = [] {
+    auto& reg = obs::Registry::Global();
+    AdmMetrics x;
+    x.considered = reg.GetCounter(
+        "svc.adm.considered", "jobs",
+        "jobs evaluated by the SLO admission controller");
+    x.admitted = reg.GetCounter(
+        "svc.adm.admitted", "jobs",
+        "jobs whose corrected prediction fit their budget");
+    x.rejected_slo = reg.GetCounter(
+        "svc.adm.rejected.slo", "jobs",
+        "jobs rejected against their class latency SLO");
+    x.rejected_deadline = reg.GetCounter(
+        "svc.adm.rejected.deadline", "jobs",
+        "jobs rejected against their own deadline");
+    x.predicted_us = reg.GetHistogram(
+        "svc.adm.predicted_us", "us",
+        "corrected end-to-end latency predicted at admission");
+    for (size_t c = 0; c < kNumJobClasses; ++c) {
+      x.class_rejected[c] = reg.GetCounter(
+          std::string("svc.slo.rejected.") +
+              JobClassName(static_cast<JobClass>(c)),
+          "jobs", "SLO-infeasible jobs rejected in this class");
+    }
+    static const char* kBackendNames[kNumBackends] = {"cpu", "fpga",
+                                                      "hybrid"};
+    for (size_t b = 0; b < kNumBackends; ++b) {
+      for (size_t s = 0; s < kNumSizeClasses; ++s) {
+        x.correction[b][s] = reg.GetGauge(
+            std::string("svc.adm.correction.") + kBackendNames[b] + "." +
+                SizeClassName(s),
+            "x", "EWMA cost-model correction factor (actual/estimate)");
+        // Same names SvcMetrics registers (scheduler.cc): the registry is
+        // find-or-create, so both sides share one histogram per cell.
+        x.place_err[b][s] = reg.GetHistogram(
+            std::string("svc.place.err_pct.") + kBackendNames[b] + "." +
+                SizeClassName(s),
+            "pct", "placement estimate error |run-est|/run*100");
+      }
+    }
+    x.pressure = reg.GetGauge(
+        "svc.slo.pressure", "x",
+        "backlog drain time over the tightest SLO (>1 = overloaded)");
+    x.worker_delta = reg.GetGauge(
+        "svc.slo.recommended_worker_delta", "workers",
+        "worker count change the pressure signal recommends");
+    x.device_delta = reg.GetGauge(
+        "svc.slo.recommended_device_delta", "devices",
+        "device count change the pressure signal recommends (advisory)");
+    return x;
+  }();
+  return m;
+}
+
+}  // namespace
+
+size_t SizeClassOf(double demand_tuples) {
+  if (demand_tuples < 64.0 * 1024) return 0;    // small
+  if (demand_tuples < 1024.0 * 1024) return 1;  // medium
+  return 2;                                     // large
+}
+
+const char* SizeClassName(size_t size_class) {
+  switch (size_class) {
+    case 0:
+      return "small";
+    case 1:
+      return "medium";
+    case 2:
+      return "large";
+    default:
+      return "unknown";
+  }
+}
+
+AdmissionController::AdmissionController(const SloConfig& config,
+                                         size_t num_workers,
+                                         size_t num_devices)
+    : config_(config),
+      num_workers_(std::max<size_t>(1, num_workers)),
+      num_devices_(std::max<size_t>(1, num_devices)) {
+  for (auto& row : correction_bits_) {
+    for (auto& cell : row) {
+      cell.store(BitsOf(1.0), std::memory_order_relaxed);
+    }
+  }
+  pending_bits_.store(BitsOf(0.0), std::memory_order_relaxed);
+}
+
+double AdmissionController::correction(Backend backend,
+                                       size_t size_class) const {
+  const size_t b = static_cast<size_t>(backend);
+  const size_t s = std::min(size_class, kNumSizeClasses - 1);
+  return DoubleOf(correction_bits_[b][s].load(std::memory_order_relaxed));
+}
+
+double AdmissionController::Correct(Backend backend, double demand_tuples,
+                                    double est_seconds) const {
+  return est_seconds * correction(backend, SizeClassOf(demand_tuples));
+}
+
+double AdmissionController::BudgetSeconds(JobClass cls,
+                                          double deadline_seconds) const {
+  double budget = std::numeric_limits<double>::infinity();
+  if (deadline_seconds > 0.0) budget = deadline_seconds;
+  const double slo = config_.class_slo_seconds[static_cast<size_t>(cls)];
+  if (slo > 0.0) budget = std::min(budget, slo);
+  return budget;
+}
+
+void AdmissionController::ObserveRun(Backend backend, double demand_tuples,
+                                     double model_est_seconds,
+                                     double placed_est_seconds,
+                                     double actual_seconds, bool learn) {
+  if (actual_seconds <= 0.0) return;
+  auto& m = Metrics();
+  const size_t b = static_cast<size_t>(backend);
+  const size_t s = SizeClassOf(demand_tuples);
+  if (placed_est_seconds > 0.0) {
+    const double err_pct =
+        std::abs(actual_seconds - placed_est_seconds) / actual_seconds *
+        100.0;
+    m.place_err[b][s]->Record(static_cast<uint64_t>(err_pct));
+  }
+
+  if (!learn || !config_.learn || !config_.enabled ||
+      model_est_seconds <= 0.0) {
+    return;
+  }
+  const double ratio = std::clamp(actual_seconds / model_est_seconds,
+                                  config_.correction_floor,
+                                  config_.correction_cap);
+  std::atomic<uint64_t>& cell = correction_bits_[b][s];
+  uint64_t seen = cell.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next =
+        std::clamp((1.0 - config_.ewma_alpha) * DoubleOf(seen) +
+                       config_.ewma_alpha * ratio,
+                   config_.correction_floor, config_.correction_cap);
+    if (cell.compare_exchange_weak(seen, BitsOf(next),
+                                   std::memory_order_relaxed)) {
+      m.correction[b][s]->Set(next);
+      return;
+    }
+  }
+}
+
+AdmissionController::Verdict AdmissionController::Judge(
+    JobClass cls, double deadline_seconds, double predicted_seconds) {
+  auto& m = Metrics();
+  Verdict v;
+  v.predicted_seconds = predicted_seconds;
+  v.budget_seconds = BudgetSeconds(cls, deadline_seconds);
+  considered_.fetch_add(1, std::memory_order_relaxed);
+  m.considered->Add();
+  m.predicted_us->Record(
+      static_cast<uint64_t>(std::max(0.0, predicted_seconds) * 1e6));
+  if (predicted_seconds <= v.budget_seconds) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    m.admitted->Add();
+    return v;
+  }
+  const double slo = config_.class_slo_seconds[static_cast<size_t>(cls)];
+  // The binding budget: the deadline, unless the class SLO is (at least
+  // as) tight.
+  v.deadline_bound =
+      deadline_seconds > 0.0 && (slo <= 0.0 || deadline_seconds < slo);
+  v.admit = false;
+  v.status = Status::SloError(
+      "predicted " + std::to_string(predicted_seconds) + " s exceeds " +
+      (v.deadline_bound ? "deadline " : "class SLO ") +
+      std::to_string(v.budget_seconds) + " s");
+  if (v.deadline_bound) {
+    rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+    m.rejected_deadline->Add();
+  } else {
+    rejected_slo_.fetch_add(1, std::memory_order_relaxed);
+    m.rejected_slo->Add();
+  }
+  rejected_by_class_[static_cast<size_t>(cls)].fetch_add(
+      1, std::memory_order_relaxed);
+  m.class_rejected[static_cast<size_t>(cls)]->Add();
+  return v;
+}
+
+void AdmissionController::AddPending(double seconds) {
+  if (seconds <= 0.0) return;
+  uint64_t seen = pending_bits_.load(std::memory_order_relaxed);
+  while (!pending_bits_.compare_exchange_weak(
+      seen, BitsOf(DoubleOf(seen) + seconds), std::memory_order_relaxed)) {
+  }
+}
+
+void AdmissionController::SubPending(double seconds) {
+  if (seconds <= 0.0) return;
+  uint64_t seen = pending_bits_.load(std::memory_order_relaxed);
+  while (!pending_bits_.compare_exchange_weak(
+      seen, BitsOf(std::max(0.0, DoubleOf(seen) - seconds)),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double AdmissionController::pending_seconds() const {
+  return DoubleOf(pending_bits_.load(std::memory_order_relaxed));
+}
+
+AdmissionController::Pressure AdmissionController::UpdatePressure(
+    double cpu_backlog_seconds, double device_backlog_seconds,
+    size_t active_workers, size_t max_workers, size_t num_devices) {
+  // Reference horizon: the tightest configured SLO (a backlog that long
+  // already eats a whole budget), 1 s when no SLO is configured.
+  double reference = std::numeric_limits<double>::infinity();
+  for (double slo : config_.class_slo_seconds) {
+    if (slo > 0.0) reference = std::min(reference, slo);
+  }
+  if (!std::isfinite(reference)) reference = 1.0;
+
+  const size_t workers = std::max<size_t>(1, active_workers);
+  const size_t devices = std::max<size_t>(1, num_devices);
+  const double cpu_pressure =
+      (cpu_backlog_seconds + pending_seconds()) /
+      (static_cast<double>(workers) * reference);
+  const double device_pressure =
+      device_backlog_seconds / (static_cast<double>(devices) * reference);
+
+  Pressure p;
+  p.value = std::max(cpu_pressure, device_pressure);
+  if (cpu_pressure > config_.pressure_high) {
+    const int want = static_cast<int>(
+        std::ceil((cpu_pressure - 1.0) * static_cast<double>(workers)));
+    const int room = static_cast<int>(max_workers) - static_cast<int>(workers);
+    p.worker_delta = std::max(0, std::min(want, room));
+  } else if (cpu_pressure < config_.pressure_low && workers > 1) {
+    p.worker_delta = -1;
+  }
+  if (device_pressure > config_.pressure_high) {
+    p.device_delta = static_cast<int>(
+        std::ceil((device_pressure - 1.0) * static_cast<double>(devices)));
+  } else if (device_pressure < config_.pressure_low && devices > 1) {
+    p.device_delta = -1;
+  }
+
+  auto& m = Metrics();
+  m.pressure->Set(p.value);
+  m.worker_delta->Set(static_cast<double>(p.worker_delta));
+  m.device_delta->Set(static_cast<double>(p.device_delta));
+  return p;
+}
+
+}  // namespace fpart::svc

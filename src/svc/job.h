@@ -80,6 +80,11 @@ enum class JobState {
   kCancelled,
   /// Rejected at admission: the bounded queue was full (backpressure).
   kShed,
+  /// Rejected at admission: the SLO-aware controller predicted the job
+  /// would miss its deadline or its class latency SLO (Status::SloError,
+  /// svc/admission.h). Unlike kShed this is a feasibility verdict, not an
+  /// occupancy one — the queue may have had room.
+  kRejected,
 };
 
 const char* JobStateName(JobState state);
@@ -177,6 +182,15 @@ struct JobOutcome {
   /// mode, where the wall-clock fields above are the measurement.
   double virtual_queue_seconds = 0.0;
   double virtual_run_seconds = 0.0;
+  /// SLO admission (SloConfig::enabled): the corrected end-to-end latency
+  /// the controller predicted when it decided this job, and the budget it
+  /// was held to (min of the job deadline and the class SLO; 0 when
+  /// neither applies, in which case the job is always admitted). Admitted
+  /// jobs satisfy predicted <= budget by construction; a kRejected
+  /// outcome carries the violating prediction. Both 0 when admission is
+  /// disabled.
+  double admit_predicted_seconds = 0.0;
+  double admit_budget_seconds = 0.0;
 };
 
 /// \brief Internal lifecycle record shared by scheduler, executor and the
@@ -211,8 +225,20 @@ struct JobRecord {
   /// Wall seconds since the scheduler epoch at submission.
   double submit_seconds = 0.0;
   /// Estimated service seconds on the backend the job was placed on
-  /// (model time; the arbiter's backlog accounting uses it).
+  /// (model time; the arbiter's backlog accounting uses it). With SLO
+  /// admission enabled this is the EWMA-*corrected* estimate;
+  /// `model_estimate_seconds` keeps the raw static-model value the
+  /// correction learns against.
   double placed_estimate_seconds = 0.0;
+  double model_estimate_seconds = 0.0;
+  /// Live-mode SLO admission: the corrected-service-time charge the
+  /// controller added to its pending-work ledger at admit, credited back
+  /// when the dispatcher places the job.
+  double admit_pending_charge = 0.0;
+  /// SLO admission: prediction/budget stamped at the admission decision
+  /// (copied into JobOutcome at completion).
+  double admit_predicted_seconds = 0.0;
+  double admit_budget_seconds = 0.0;
 
   std::mutex mu;
   std::condition_variable cv;

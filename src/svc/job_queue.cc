@@ -1,6 +1,10 @@
 #include "svc/job_queue.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace fpart::svc {
 namespace {
@@ -9,6 +13,24 @@ namespace {
 /// forever (infinite virtual finish time), which is starvation by
 /// configuration — WFQ promises every class forward progress.
 constexpr double kMinWeight = 1e-9;
+
+/// Per-class capacity-reject counters, bumped on every shed regardless of
+/// queue mode (live WFQ and strict-seq replay take the same path here).
+obs::Counter* RejectedCounter(JobClass cls) {
+  static obs::Counter* counters[kNumJobClasses] = {nullptr, nullptr,
+                                                   nullptr};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& reg = obs::Registry::Global();
+    for (size_t c = 0; c < kNumJobClasses; ++c) {
+      counters[c] = reg.GetCounter(
+          std::string("svc.q.rejected.") +
+              JobClassName(static_cast<JobClass>(c)),
+          "jobs", "jobs shed with CapacityError in this class");
+    }
+  });
+  return counters[static_cast<size_t>(cls)];
+}
 
 }  // namespace
 
@@ -33,8 +55,10 @@ Status JobQueue::Push(std::shared_ptr<JobRecord> rec) {
       return Status::InvalidArgument("job queue is closed");
     }
     const size_t depth = strict_seq_ ? by_seq_.size() : LiveDepthLocked();
-    if (depth >= capacity_) {
+    if (depth >= capacity_ || Failpoint("svc.queue.full")) {
       ++shed_;
+      ++shed_by_class_[static_cast<size_t>(rec->cls)];
+      RejectedCounter(rec->cls)->Add();
       if (strict_seq_) {
         // Leave a tombstone so Pop never stalls on this sequence number.
         skipped_.insert(rec->seq);
@@ -149,6 +173,11 @@ uint64_t JobQueue::pushed() const {
 uint64_t JobQueue::shed() const {
   std::unique_lock<std::mutex> lock(mu_);
   return shed_;
+}
+
+uint64_t JobQueue::shed(JobClass cls) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shed_by_class_[static_cast<size_t>(cls)];
 }
 
 double JobQueue::served_cost(JobClass cls) const {

@@ -69,6 +69,12 @@ class JobQueue {
   size_t depth() const;
   uint64_t pushed() const;
   uint64_t shed() const;
+  /// Capacity rejects charged to `cls`. Bumped on *every* shed path —
+  /// live and strict-seq mode alike — together with the
+  /// svc.q.rejected.<class> counters (historically the per-class tallies
+  /// only covered strict-arrival mode, so live-mode rejects were
+  /// invisible per class).
+  uint64_t shed(JobClass cls) const;
 
   /// Summed wfq_cost of the jobs popped from `cls` so far.
   double served_cost(JobClass cls) const;
@@ -96,6 +102,7 @@ class JobQueue {
   uint64_t next_seq_ = 0;  // strict_seq only: next sequence to dispatch
   uint64_t pushed_ = 0;
   uint64_t shed_ = 0;
+  std::array<uint64_t, kNumJobClasses> shed_by_class_{};
   /// WFQ virtual clocks: vtime_ self-clocks to the last served finish tag;
   /// class_vf_ is each class's cumulative finish; class_start_ is the
   /// stamped virtual start of the class's current head (valid while the

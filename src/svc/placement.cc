@@ -12,10 +12,12 @@ namespace {
 PlacementDecision DecidePartition(const PlacementInput& in) {
   PlacementDecision d;
   const FpgaCostModel fpga(in.tuple_width, in.fanout);
-  d.est_fpga_seconds = fpga.PredictSeconds(in.n_tuples, in.mode, in.layout,
+  d.est_fpga_seconds = in.device_cost_scale *
+                       fpga.PredictSeconds(in.n_tuples, in.mode, in.layout,
                                            in.link, in.interference);
   d.device_seconds = d.est_fpga_seconds;
   d.est_cpu_seconds =
+      in.cpu_cost_scale *
       CpuCostModel::PartitionSeconds(in.n_tuples, in.cpu_threads, in.hash);
   d.fpga_latency_seconds =
       EffectiveFpgaBacklogSeconds(in) + d.est_fpga_seconds;
@@ -29,16 +31,21 @@ PlacementDecision DecideJoin(const PlacementInput& in) {
   // Hybrid path (Section 5): the device partitions both relations under
   // the lease, the host runs build+probe afterwards.
   d.device_seconds =
-      fpga.PredictSeconds(in.r_tuples, in.mode, in.layout, in.link,
-                          in.interference) +
-      fpga.PredictSeconds(in.s_tuples, in.mode, in.layout, in.link,
-                          in.interference);
+      in.device_cost_scale *
+      (fpga.PredictSeconds(in.r_tuples, in.mode, in.layout, in.link,
+                           in.interference) +
+       fpga.PredictSeconds(in.s_tuples, in.mode, in.layout, in.link,
+                           in.interference));
   d.est_fpga_seconds =
       d.device_seconds +
-      CpuCostModel::BuildProbeSeconds(in.r_tuples + in.s_tuples, in.r_tuples,
-                                      in.fanout, in.cpu_threads);
-  d.est_cpu_seconds = CpuCostModel::JoinSeconds(
-      in.r_tuples, in.s_tuples, in.fanout, in.cpu_threads, in.hash);
+      in.cpu_cost_scale *
+          CpuCostModel::BuildProbeSeconds(in.r_tuples + in.s_tuples,
+                                          in.r_tuples, in.fanout,
+                                          in.cpu_threads);
+  d.est_cpu_seconds =
+      in.cpu_cost_scale *
+      CpuCostModel::JoinSeconds(in.r_tuples, in.s_tuples, in.fanout,
+                                in.cpu_threads, in.hash);
   // The hybrid join is gated on the device from the start (partitioning is
   // its first phase), so the whole path waits out the device backlog.
   d.fpga_latency_seconds = EffectiveFpgaBacklogSeconds(in) + d.est_fpga_seconds;

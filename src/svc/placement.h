@@ -56,6 +56,17 @@ struct PlacementInput {
   size_t fpga_devices = 1;
   double fpga_backlog_seconds = 0.0;
   double cpu_backlog_seconds = 0.0;
+
+  /// EWMA-corrected cost plumbing (svc/admission.h): multiplicative
+  /// scales the admission controller learned for this job's
+  /// (backend, size-class) cells, applied to the static Section 4.6/4.8
+  /// estimates. 1.0 = trust the static model (the default, and always the
+  /// value in deterministic mode, where learning is off so replays stay
+  /// bit-identical). `device_cost_scale` covers the device-side phases
+  /// (FPGA partitioning passes); `cpu_cost_scale` covers CPU service time
+  /// (partition/join/build+probe).
+  double cpu_cost_scale = 1.0;
+  double device_cost_scale = 1.0;
 };
 
 /// The FPGA queueing delay DecidePlacement charges: min over the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "join/hybrid_join.h"
 #include "join/radix_join.h"
@@ -51,19 +52,7 @@ struct SvcMetrics {
   obs::Counter* class_completed[kNumJobClasses];
   obs::Counter* class_served_cost[kNumJobClasses];
   obs::Histogram* class_total_us[kNumJobClasses];
-  /// Placement-model prediction error |run - estimate| / run (percent),
-  /// per backend x job-size bucket. The feedback data the ROADMAP's EWMA
-  /// correction item needs: a skewed histogram here means the static
-  /// Section 4.8 constants are off for that (backend, size) cell.
-  obs::Histogram* place_err[3][3];
 };
-
-/// Job-size bucket (by demand tuples) of the svc.place.err_pct metrics.
-size_t PlaceErrSizeBucket(double demand_tuples) {
-  if (demand_tuples < 64.0 * 1024) return 0;         // small
-  if (demand_tuples < 1024.0 * 1024) return 1;       // medium
-  return 2;                                          // large
-}
 
 SvcMetrics& Metrics() {
   static SvcMetrics m = [] {
@@ -119,16 +108,6 @@ SvcMetrics& Metrics() {
           "WFQ cost (tuples) dispatched from this class");
       x.class_total_us[c] = reg.GetHistogram(
           prefix + ".total_us", "us", "submit -> completion in this class");
-    }
-    static const char* kBackendNames[3] = {"cpu", "fpga", "hybrid"};
-    static const char* kSizeNames[3] = {"small", "medium", "large"};
-    for (size_t b = 0; b < 3; ++b) {
-      for (size_t s = 0; s < 3; ++s) {
-        x.place_err[b][s] = reg.GetHistogram(
-            std::string("svc.place.err_pct.") + kBackendNames[b] + "." +
-                kSizeNames[s],
-            "pct", "placement estimate error |run-est|/run*100");
-      }
     }
     return x;
   }();
@@ -192,6 +171,8 @@ const char* JobStateName(JobState state) {
       return "cancelled";
     case JobState::kShed:
       return "shed";
+    case JobState::kRejected:
+      return "rejected";
   }
   return "unknown";
 }
@@ -220,23 +201,49 @@ Scheduler::Scheduler(SchedulerConfig config)
   if (config_.num_workers == 0) config_.num_workers = 1;
   if (config_.cpu_threads_per_job == 0) config_.cpu_threads_per_job = 1;
   config_.fpga_devices = pool_.num_devices();  // 0 clamps to 1
+  // Autoscaling headroom: live mode may park workers beyond num_workers;
+  // deterministic mode pins the worker count (virtual clocks are sized
+  // once and are part of the replay's identity).
+  if (config_.max_workers < config_.num_workers || config_.deterministic) {
+    config_.max_workers = config_.num_workers;
+  }
+  admission_ = std::make_unique<AdmissionController>(
+      config_.slo, config_.num_workers, pool_.num_devices());
+  active_workers_.store(config_.num_workers, std::memory_order_release);
   virt_device_free_.assign(pool_.num_devices(), 0.0);
   virt_worker_free_.assign(config_.num_workers, 0.0);
   if (config_.cpu_threads_per_job > 1) {
-    worker_pools_.resize(config_.num_workers);
-    for (size_t w = 0; w < config_.num_workers; ++w) {
+    worker_pools_.resize(config_.max_workers);
+    for (size_t w = 0; w < config_.max_workers; ++w) {
       worker_pools_[w] = std::make_unique<ThreadPool>(
           config_.cpu_threads_per_job,
           config_.name + "-j" + std::to_string(w), config_.affinity);
     }
   }
   worker_pins_ = Topology::Host().PinPlan(config_.affinity,
-                                          config_.num_workers);
+                                          config_.max_workers);
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
-  workers_.reserve(config_.num_workers);
-  for (size_t w = 0; w < config_.num_workers; ++w) {
+  workers_.reserve(config_.max_workers);
+  for (size_t w = 0; w < config_.max_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
+}
+
+bool Scheduler::SetActiveWorkers(size_t n) {
+  if (config_.deterministic) return false;
+  n = std::min(std::max<size_t>(1, n), config_.max_workers);
+  active_workers_.store(n, std::memory_order_release);
+  // Wake everyone: a freshly activated worker is parked on the same cv as
+  // the busy ones, and a targeted notify could land on a still-parked
+  // thread that just re-sleeps (lost wakeup).
+  ready_cv_.notify_all();
+  return true;
+}
+
+AdmissionController::Pressure Scheduler::slo_pressure() {
+  return admission_->UpdatePressure(
+      cpu_backlog_seconds(), pool_.total_backlog_seconds(), active_workers(),
+      config_.max_workers, pool_.num_devices());
 }
 
 Scheduler::~Scheduler() { Shutdown(); }
@@ -324,10 +331,29 @@ Result<JobHandle> Scheduler::SubmitRecord(std::shared_ptr<JobRecord> rec) {
   if (rec->opts.deadline_seconds > 0.0) {
     rec->deadline_key = rec->submit_seconds + rec->opts.deadline_seconds;
   }
+  if (config_.slo.enabled && !config_.deterministic) {
+    // Live-mode SLO admission runs here, synchronously, so a rejected
+    // client learns before the job ever occupies the queue. Deterministic
+    // mode judges dispatcher-side (PlaceJob) instead, where the virtual
+    // clocks make the prediction exact.
+    Status admit = AdmitLive(rec.get());
+    if (!admit.ok()) {
+      JobOutcome out;
+      out.backend = rec->outcome.backend;
+      out.admit_predicted_seconds = rec->admit_predicted_seconds;
+      out.admit_budget_seconds = rec->admit_budget_seconds;
+      out.status = admit;
+      CompleteJob(rec, JobState::kRejected, admit, out);
+      return admit;
+    }
+  }
   JobHandle handle(rec);
   Status pushed = queue_.Push(rec);
   if (!pushed.ok()) {
     if (pushed.IsCapacityError()) {
+      // The admission charge must not leak when the queue sheds the job
+      // after the controller already admitted it.
+      admission_->SubPending(rec->admit_pending_charge);
       Metrics().shed->Add();
       JobOutcome out;
       out.status = pushed;
@@ -378,24 +404,149 @@ void Scheduler::Shutdown() {
 // histograms below tell us how close).
 constexpr double kRebalanceTuplesPerSecond = 250e6;
 
-void Scheduler::PlaceJob(JobRecord* rec) {
+void Scheduler::FillPlacementRequest(const JobRecord& rec,
+                                     PlacementInput* in) const {
+  in->kind = rec.kind;
+  in->cpu_threads = config_.cpu_threads_per_job;
+  if (rec.kind == JobKind::kPartition) {
+    const PartitionRequest& req = rec.partition.request;
+    in->n_tuples = rec.partition.input->size();
+    in->fanout = req.fanout;
+    in->mode = req.output_mode;
+    in->layout = req.layout;
+    in->link = req.link;
+    in->hash = req.hash;
+    in->interference = req.interference;
+  } else {
+    in->r_tuples = rec.join.r->size();
+    in->s_tuples = rec.join.s->size();
+    in->fanout = rec.join.fanout;
+    in->hash = rec.join.hash;
+    in->mode = OutputMode::kHist;  // the hybrid path partitions HIST-mode
+    in->link = LinkKind::kXeonFpga;
+  }
+  // EWMA-corrected cost plumbing: scale each side's static estimate by the
+  // learned (backend, size-class) factor. 1.0 until learned — and always
+  // 1.0 in deterministic mode, so replays see the uncorrected model.
+  const size_t size_class = SizeClassOf(rec.wfq_cost);
+  in->cpu_cost_scale = admission_->correction(Backend::kCpu, size_class);
+  in->device_cost_scale = admission_->correction(
+      rec.kind == JobKind::kPartition ? Backend::kFpga : Backend::kHybrid,
+      size_class);
+}
+
+std::optional<Backend> Scheduler::ForcedBackend(const JobRecord& rec) const {
+  const Backend device_backend =
+      rec.kind == JobKind::kPartition ? Backend::kFpga : Backend::kHybrid;
+  if (rec.opts.pinned.has_value()) {
+    // A partition job can never be "hybrid" and a join never plain-"fpga":
+    // normalize bad pins to the device backend of the job kind.
+    return *rec.opts.pinned == Backend::kCpu ? Backend::kCpu : device_backend;
+  }
+  switch (config_.policy) {
+    case PlacementPolicy::kAdaptive:
+      return std::nullopt;
+    case PlacementPolicy::kCpuOnly:
+      return Backend::kCpu;
+    case PlacementPolicy::kFpgaOnly:
+      return device_backend;
+    case PlacementPolicy::kRoundRobin:
+      return rec.seq % 2 == 0 ? device_backend : Backend::kCpu;
+  }
+  return std::nullopt;
+}
+
+Status Scheduler::AdmitLive(JobRecord* rec) {
+  // Predict the job's end-to-end latency with the same arithmetic the
+  // dispatcher will use: corrected service estimate on the backend
+  // placement would pick right now, plus the backlog ahead of it. The
+  // pending ledger stands in for admitted-but-undispatched work that the
+  // backlog clocks have not been charged with yet.
+  const double pending = admission_->pending_seconds();
+  const size_t workers = std::max<size_t>(1, active_workers());
+  const double cpu_wait =
+      (cpu_backlog_seconds() + pending) / static_cast<double>(workers);
+
+  Backend backend = Backend::kCpu;
+  double est = 0.0;
+  double predicted = 0.0;
+  if (rec->kind == JobKind::kRebalance) {
+    const double model = static_cast<double>(rec->rebalance.cost_tuples) /
+                         kRebalanceTuplesPerSecond;
+    est = admission_->Correct(Backend::kCpu, rec->wfq_cost, model);
+    predicted = cpu_wait + est;
+  } else {
+    PlacementInput in;
+    FillPlacementRequest(*rec, &in);
+    in.fpga_devices = pool_.num_devices();
+    in.fpga_backlog_seconds = pool_.backlog_seconds();
+    in.cpu_backlog_seconds = cpu_wait;
+    const PlacementDecision d = DecidePlacement(in);
+    backend = d.backend;
+    if (auto forced = ForcedBackend(*rec)) backend = *forced;
+    if (backend == Backend::kCpu) {
+      est = d.est_cpu_seconds;
+      predicted = cpu_wait + est;
+    } else {
+      est = d.est_fpga_seconds;
+      predicted = in.fpga_backlog_seconds + est;
+    }
+  }
+  rec->outcome.backend = backend;
+
+  const AdmissionController::Verdict verdict =
+      admission_->Judge(rec->cls, rec->opts.deadline_seconds, predicted);
+  rec->admit_predicted_seconds = verdict.predicted_seconds;
+  rec->admit_budget_seconds =
+      std::isfinite(verdict.budget_seconds) ? verdict.budget_seconds : 0.0;
+  if (!verdict.admit) return verdict.status;
+  rec->admit_pending_charge = est;
+  admission_->AddPending(est);
+  return Status::OK();
+}
+
+bool Scheduler::PlaceJob(const std::shared_ptr<JobRecord>& recp) {
+  JobRecord* rec = recp.get();
+  // The job is leaving the queue: its admission charge graduates into the
+  // real backlog clocks charged below.
+  admission_->SubPending(rec->admit_pending_charge);
+  const double t_arrival = config_.deterministic
+                               ? rec->opts.virtual_arrival_seconds
+                               : rec->submit_seconds;
+
   if (rec->kind == JobKind::kRebalance) {
     // Always the host CPU: the rebuild manipulates host-resident buckets;
     // there is no device kernel for it. Policy and pins are ignored, but
     // the backlog/virtual-clock charging below matches the CPU path.
-    const double est = static_cast<double>(rec->rebalance.cost_tuples) /
-                       kRebalanceTuplesPerSecond;
+    const double model = static_cast<double>(rec->rebalance.cost_tuples) /
+                         kRebalanceTuplesPerSecond;
+    const double est =
+        admission_->Correct(Backend::kCpu, rec->wfq_cost, model);
     rec->outcome.backend = Backend::kCpu;
+    rec->model_estimate_seconds = model;
     rec->placed_estimate_seconds = est;
-    const double t_arrival = config_.deterministic
-                                 ? rec->opts.virtual_arrival_seconds
-                                 : rec->submit_seconds;
     if (config_.deterministic) {
       const size_t w = static_cast<size_t>(
           std::min_element(virt_worker_free_.begin(),
                            virt_worker_free_.end()) -
           virt_worker_free_.begin());
       const double start = std::max(t_arrival, virt_worker_free_[w]);
+      if (config_.slo.enabled) {
+        const AdmissionController::Verdict verdict = admission_->Judge(
+            rec->cls, rec->opts.deadline_seconds, (start - t_arrival) + est);
+        rec->admit_predicted_seconds = verdict.predicted_seconds;
+        rec->admit_budget_seconds = std::isfinite(verdict.budget_seconds)
+                                        ? verdict.budget_seconds
+                                        : 0.0;
+        if (!verdict.admit) {
+          JobOutcome out;
+          out.backend = Backend::kCpu;
+          out.admit_predicted_seconds = rec->admit_predicted_seconds;
+          out.admit_budget_seconds = rec->admit_budget_seconds;
+          CompleteJob(recp, JobState::kRejected, verdict.status, out);
+          return false;
+        }
+      }
       virt_worker_free_[w] = start + est;
       rec->outcome.virtual_queue_seconds = start - t_arrival;
       rec->outcome.virtual_run_seconds = est;
@@ -405,33 +556,11 @@ void Scheduler::PlaceJob(JobRecord* rec) {
       Metrics().cpu_backlog->Set(cpu_backlog_seconds_);
     }
     Metrics().placed_cpu->Add();
-    return;
+    return true;
   }
 
   PlacementInput in;
-  in.kind = rec->kind;
-  in.cpu_threads = config_.cpu_threads_per_job;
-  if (rec->kind == JobKind::kPartition) {
-    const PartitionRequest& req = rec->partition.request;
-    in.n_tuples = rec->partition.input->size();
-    in.fanout = req.fanout;
-    in.mode = req.output_mode;
-    in.layout = req.layout;
-    in.link = req.link;
-    in.hash = req.hash;
-    in.interference = req.interference;
-  } else {
-    in.r_tuples = rec->join.r->size();
-    in.s_tuples = rec->join.s->size();
-    in.fanout = rec->join.fanout;
-    in.hash = rec->join.hash;
-    in.mode = OutputMode::kHist;  // the hybrid path partitions HIST-mode
-    in.link = LinkKind::kXeonFpga;
-  }
-
-  const double t_arrival = config_.deterministic
-                               ? rec->opts.virtual_arrival_seconds
-                               : rec->submit_seconds;
+  FillPlacementRequest(*rec, &in);
   size_t virt_worker = 0;
   size_t virt_device = 0;
   if (config_.deterministic) {
@@ -454,60 +583,77 @@ void Scheduler::PlaceJob(JobRecord* rec) {
     in.fpga_backlog_seconds = pool_.backlog_seconds();
     std::unique_lock<std::mutex> lock(ready_mu_);
     in.cpu_backlog_seconds =
-        cpu_backlog_seconds_ / static_cast<double>(config_.num_workers);
+        cpu_backlog_seconds_ /
+        static_cast<double>(std::max<size_t>(1, active_workers()));
   }
 
   PlacementDecision d = DecidePlacement(in);
   const Backend device_backend =
       rec->kind == JobKind::kPartition ? Backend::kFpga : Backend::kHybrid;
   Backend backend = d.backend;
-  if (rec->opts.pinned.has_value()) {
-    backend = *rec->opts.pinned;
-  } else {
-    switch (config_.policy) {
-      case PlacementPolicy::kAdaptive:
-        break;
-      case PlacementPolicy::kCpuOnly:
-        backend = Backend::kCpu;
-        break;
-      case PlacementPolicy::kFpgaOnly:
-        backend = device_backend;
-        break;
-      case PlacementPolicy::kRoundRobin:
-        backend = rec->seq % 2 == 0 ? device_backend : Backend::kCpu;
-        break;
-    }
-  }
-  // A partition job can never be "hybrid" and a join never plain-"fpga":
-  // normalize bad pins to the device backend of the job kind.
+  if (auto forced = ForcedBackend(*rec)) backend = *forced;
   if (backend != Backend::kCpu) backend = device_backend;
 
   rec->outcome.backend = backend;
+  // The estimate the backlog clocks are charged with is the corrected one
+  // (the cost scales already folded it in); keep the raw static-model
+  // value alongside so the EWMA learns actual/model, not its own output.
+  const double scale =
+      backend == Backend::kCpu ? in.cpu_cost_scale : in.device_cost_scale;
   rec->placed_estimate_seconds =
       backend == Backend::kCpu ? d.est_cpu_seconds : d.device_seconds;
+  rec->model_estimate_seconds =
+      scale > 0.0 ? rec->placed_estimate_seconds / scale
+                  : rec->placed_estimate_seconds;
 
   // Charge the chosen backend's backlog (credited back at completion) and,
   // in deterministic mode, advance the virtual clocks. The virtual start
   // and service time are stamped on the outcome: they are the replay's
   // noise-free latency decomposition (JobOutcome::virtual_*_seconds).
   if (config_.deterministic) {
+    // The exact virtual start the charge below would commit — which makes
+    // the admission prediction exact: predicted == virtual_queue +
+    // virtual_run, so an admitted job can never miss a budget its
+    // prediction fit (the zero-admitted-then-missed invariant the
+    // svc_admission tests assert).
+    double start;
+    double service;
     if (backend == Backend::kCpu) {
-      const double start =
-          std::max(t_arrival, virt_worker_free_[virt_worker]);
-      virt_worker_free_[virt_worker] = start + d.est_cpu_seconds;
-      rec->outcome.virtual_queue_seconds = start - t_arrival;
-      rec->outcome.virtual_run_seconds = d.est_cpu_seconds;
+      start = std::max(t_arrival, virt_worker_free_[virt_worker]);
+      service = d.est_cpu_seconds;
     } else {
       // Device jobs hold a worker for the whole run and their device for
       // the lease phase; the chosen device's clock gates the start.
-      const double start =
-          std::max({t_arrival, virt_device_free_[virt_device],
-                    virt_worker_free_[virt_worker]});
-      virt_device_free_[virt_device] = start + d.device_seconds;
-      virt_worker_free_[virt_worker] = start + d.est_fpga_seconds;
-      rec->outcome.virtual_queue_seconds = start - t_arrival;
-      rec->outcome.virtual_run_seconds = d.est_fpga_seconds;
+      start = std::max({t_arrival, virt_device_free_[virt_device],
+                        virt_worker_free_[virt_worker]});
+      service = d.est_fpga_seconds;
     }
+    if (config_.slo.enabled) {
+      const AdmissionController::Verdict verdict = admission_->Judge(
+          rec->cls, rec->opts.deadline_seconds, (start - t_arrival) + service);
+      rec->admit_predicted_seconds = verdict.predicted_seconds;
+      rec->admit_budget_seconds = std::isfinite(verdict.budget_seconds)
+                                      ? verdict.budget_seconds
+                                      : 0.0;
+      if (!verdict.admit) {
+        // Rejected: no clock was advanced, so the rest of the replay is
+        // exactly what a run without this job would compute.
+        JobOutcome out;
+        out.backend = backend;
+        out.admit_predicted_seconds = rec->admit_predicted_seconds;
+        out.admit_budget_seconds = rec->admit_budget_seconds;
+        CompleteJob(recp, JobState::kRejected, verdict.status, out);
+        return false;
+      }
+    }
+    if (backend == Backend::kCpu) {
+      virt_worker_free_[virt_worker] = start + service;
+    } else {
+      virt_device_free_[virt_device] = start + d.device_seconds;
+      virt_worker_free_[virt_worker] = start + service;
+    }
+    rec->outcome.virtual_queue_seconds = start - t_arrival;
+    rec->outcome.virtual_run_seconds = service;
   } else if (backend == Backend::kCpu) {
     std::unique_lock<std::mutex> lock(ready_mu_);
     cpu_backlog_seconds_ += d.est_cpu_seconds;
@@ -533,6 +679,7 @@ void Scheduler::PlaceJob(JobRecord* rec) {
       config_.policy == PlacementPolicy::kAdaptive) {
     m.placed_ties->Add();
   }
+  return true;
 }
 
 void Scheduler::DispatcherLoop() {
@@ -547,12 +694,15 @@ void Scheduler::DispatcherLoop() {
     if (rec == nullptr) break;  // closed and drained
     Metrics().class_served_cost[static_cast<size_t>(rec->cls)]->Add(
         static_cast<uint64_t>(rec->wfq_cost));
-    PlaceJob(rec.get());
+    if (!PlaceJob(rec)) continue;  // rejected by SLO admission, completed
     {
       std::unique_lock<std::mutex> lock(ready_mu_);
       ready_.push_back(std::move(rec));
     }
-    ready_cv_.notify_one();
+    // notify_all, not notify_one: with autoscaling headroom some waiters
+    // are parked (index >= active_workers_) and a targeted wake that
+    // lands on one of them is lost.
+    ready_cv_.notify_all();
   }
   {
     std::unique_lock<std::mutex> lock(ready_mu_);
@@ -579,10 +729,19 @@ void Scheduler::WorkerLoop(size_t index) {
     std::shared_ptr<JobRecord> rec;
     {
       std::unique_lock<std::mutex> lock(ready_mu_);
-      ready_cv_.wait(lock,
-                     [this] { return !ready_.empty() || dispatch_done_; });
-      if (ready_.empty()) {
-        if (dispatch_done_) return;
+      // Workers beyond the active set park here until SetActiveWorkers
+      // grows it (autoscaling) — except during the shutdown drain, where
+      // every worker helps empty the ready deque.
+      ready_cv_.wait(lock, [this, index] {
+        if (dispatch_done_) return true;
+        return !ready_.empty() &&
+               index < active_workers_.load(std::memory_order_acquire);
+      });
+      const bool parked =
+          !dispatch_done_ &&
+          index >= active_workers_.load(std::memory_order_acquire);
+      if (ready_.empty() || parked) {
+        if (dispatch_done_ && ready_.empty()) return;
         continue;
       }
       rec = std::move(ready_.front());
@@ -614,6 +773,8 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
   out.queue_seconds = queue_seconds;
   out.virtual_queue_seconds = rec->outcome.virtual_queue_seconds;
   out.virtual_run_seconds = rec->outcome.virtual_run_seconds;
+  out.admit_predicted_seconds = rec->admit_predicted_seconds;
+  out.admit_budget_seconds = rec->admit_budget_seconds;
 
   Status status;
   if (rec->cancel.load(std::memory_order_relaxed)) {
@@ -636,16 +797,14 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
   out.run_seconds = NowSeconds() - start_seconds;
   m.run_us->Record(ToMicros(out.run_seconds));
   m.total_us->Record(ToMicros(out.queue_seconds + out.run_seconds));
-  if (status.ok() && out.run_seconds > 0.0 &&
-      rec->placed_estimate_seconds > 0.0) {
-    // Feedback for the placement model: how far off was the estimate the
-    // backlog clocks were charged with, per backend x size bucket.
-    const double err_pct =
-        std::abs(out.run_seconds - rec->placed_estimate_seconds) /
-        out.run_seconds * 100.0;
-    m.place_err[static_cast<size_t>(out.backend)]
-               [PlaceErrSizeBucket(rec->wfq_cost)]
-                   ->Record(static_cast<uint64_t>(err_pct));
+  if (status.ok()) {
+    // Feedback for the placement model: the svc.place.err_pct histograms
+    // (error of the charged estimate) and, in live mode, the EWMA
+    // correction the next admission decisions use.
+    admission_->ObserveRun(out.backend, rec->wfq_cost,
+                           rec->model_estimate_seconds,
+                           rec->placed_estimate_seconds, out.run_seconds,
+                           /*learn=*/!config_.deterministic);
   }
 
   // Credit the backlog charged at placement.
@@ -659,6 +818,7 @@ void Scheduler::ExecuteJob(const std::shared_ptr<JobRecord>& rec,
       pool_.Credit(rec->charged_device, rec->placed_estimate_seconds);
       Metrics().fpga_backlog->Set(pool_.backlog_seconds());
     }
+    if (config_.slo.enabled) slo_pressure();
   }
 
   JobState state = JobState::kCompleted;
@@ -699,6 +859,10 @@ Status Scheduler::RunPartitionJob(JobRecord* rec, size_t worker,
   // FPGA placement: one exclusive device lease from the pool first.
   const double wait0 = NowSeconds();
   FPART_RETURN_NOT_OK(pool_.Acquire(rec));
+  if (Failpoint("svc.device.run")) {
+    pool_.Release(rec);
+    return Status::Internal("failpoint: forced device-run failure");
+  }
   const int device = rec->device;
   const double lease0 = NowSeconds();
   m.lease_wait_us->Record(ToMicros(lease0 - wait0));
@@ -782,6 +946,10 @@ Status Scheduler::RunJoinJob(JobRecord* rec, size_t worker, JobOutcome* out) {
 
   const double wait0 = NowSeconds();
   FPART_RETURN_NOT_OK(pool_.Acquire(rec));
+  if (Failpoint("svc.device.run")) {
+    pool_.Release(rec);
+    return Status::Internal("failpoint: forced device-run failure");
+  }
   const int device_index = rec->device;
   const double lease0 = NowSeconds();
   m.lease_wait_us->Record(ToMicros(lease0 - wait0));
@@ -842,7 +1010,7 @@ void Scheduler::CompleteJob(const std::shared_ptr<JobRecord>& rec,
       m.cancelled->Add();
       break;
     default:
-      break;  // kShed counted at admission
+      break;  // kShed / kRejected counted at admission
   }
   outcome.state = state;
   outcome.status = std::move(status);

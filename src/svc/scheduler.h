@@ -40,6 +40,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "fpga/config.h"
+#include "svc/admission.h"
 #include "svc/fpga_arbiter.h"
 #include "svc/job.h"
 #include "svc/job_queue.h"
@@ -67,6 +68,14 @@ struct SchedulerConfig {
   size_t queue_capacity = 256;
   /// Worker threads executing placed jobs (each runs one job at a time).
   size_t num_workers = 4;
+  /// Autoscaling headroom (live mode): worker threads are created up to
+  /// this count but only `num_workers` start active; the rest park on the
+  /// ready queue until SetActiveWorkers() grows the active set (the
+  /// svc.slo.pressure signal drives this in bench/ext_service's
+  /// --autoscale arm). 0 = num_workers (no headroom). Deterministic mode
+  /// ignores the headroom — virtual worker clocks are fixed at
+  /// construction so replays stay bit-identical.
+  size_t max_workers = 0;
   /// CPU threads a single job's partition/build+probe phases may use
   /// (1 = run inline on the worker; >1 = per-worker pool).
   size_t cpu_threads_per_job = 1;
@@ -96,6 +105,10 @@ struct SchedulerConfig {
   /// kAnalytical only: cross-check sampling fraction
   /// (FpgaPartitionerConfig::xcheck) on the scheduler's own device runs.
   double xcheck = 0.0;
+  /// SLO-aware admission control (svc/admission.h): per-class latency
+  /// SLOs, deadline-feasibility rejection (Status::SloError) and the
+  /// EWMA cost-model correction. Disabled by default.
+  SloConfig slo;
   /// Construct with the dispatcher held; jobs queue until Resume(). Lets
   /// tests stage admission-control and cancellation scenarios.
   bool start_paused = false;
@@ -167,14 +180,42 @@ class Scheduler {
   const DevicePool& device_pool() const { return pool_; }
   const SchedulerConfig& config() const { return config_; }
 
+  /// The SLO admission controller (stats and correction factors; always
+  /// constructed, inert unless config().slo.enabled).
+  const AdmissionController& admission() const { return *admission_; }
+
+  /// Workers currently eligible to pick up jobs (<= config().max_workers).
+  size_t active_workers() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+  /// Grow or shrink the active worker set within [1, max_workers] — the
+  /// autoscaling actuator the svc.slo.pressure signal recommends deltas
+  /// for. Live mode only: returns false in deterministic mode (the
+  /// virtual worker clocks are part of the replay's identity).
+  bool SetActiveWorkers(size_t n);
+  /// Recompute and publish the backlog-pressure signal (svc.slo.pressure
+  /// plus the recommended worker/device deltas) from the live backlogs.
+  AdmissionController::Pressure slo_pressure();
+
  private:
   Result<JobHandle> SubmitRecord(std::shared_ptr<JobRecord> rec);
   void DispatcherLoop();
   void WorkerLoop(size_t index);
 
-  /// Decide the backend (policy + pinning), charge the chosen backlog and
-  /// stamp the record. Dispatcher-only.
-  void PlaceJob(JobRecord* rec);
+  /// The static (backlog-free) part of the placement input, including the
+  /// EWMA-corrected cost scales. Partition/join jobs only.
+  void FillPlacementRequest(const JobRecord& rec, PlacementInput* in) const;
+  /// The backend a pin or non-adaptive policy forces (nullopt: adaptive).
+  std::optional<Backend> ForcedBackend(const JobRecord& rec) const;
+  /// Live-mode admission: corrected prediction vs budget at submit time.
+  /// OK = admitted (pending ledger charged); SloError = rejected.
+  Status AdmitLive(JobRecord* rec);
+
+  /// Decide the backend (policy + pinning), run the deterministic-mode
+  /// admission check, charge the chosen backlog and stamp the record.
+  /// Dispatcher-only. False: the job was rejected (SloError) and
+  /// completed; it must not be handed to a worker.
+  bool PlaceJob(const std::shared_ptr<JobRecord>& rec);
   /// Run the job on its placed backend and complete the record.
   void ExecuteJob(const std::shared_ptr<JobRecord>& rec, size_t worker);
   Status RunPartitionJob(JobRecord* rec, size_t worker, JobOutcome* out);
@@ -188,7 +229,10 @@ class Scheduler {
   SchedulerConfig config_;
   JobQueue queue_;
   DevicePool pool_;
+  std::unique_ptr<AdmissionController> admission_;
   std::chrono::steady_clock::time_point epoch_;
+  /// Workers eligible for jobs; indices beyond it park on ready_cv_.
+  std::atomic<size_t> active_workers_{0};
 
   std::atomic<uint64_t> next_id_{0};
   std::atomic<uint64_t> next_seq_{0};

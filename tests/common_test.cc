@@ -17,6 +17,7 @@
 #endif
 
 #include "common/aligned_buffer.h"
+#include "common/failpoint.h"
 #include "common/env.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -380,6 +381,74 @@ TEST(ThreadPoolTest, NodeChunksZeroTotalStillCalledOnce) {
   });
   EXPECT_EQ(calls.load(), 1);
   EXPECT_EQ(end, 0u);
+}
+
+TEST(StatusTest, SloErrorIsTypedAndDistinct) {
+  Status slo = Status::SloError("predicted 2 s exceeds budget 1 s");
+  EXPECT_FALSE(slo.ok());
+  EXPECT_TRUE(slo.IsSloError());
+  EXPECT_FALSE(slo.IsCapacityError());
+  Status cap = Status::CapacityError("queue full");
+  EXPECT_TRUE(cap.IsCapacityError());
+  EXPECT_FALSE(cap.IsSloError());
+  EXPECT_NE(slo.ToString().find("predicted"), std::string::npos);
+}
+
+TEST(FailpointTest, DisarmedRegistryNeverFires) {
+  FailpointRegistry::Global().ClearAll();
+  EXPECT_EQ(FailpointRegistry::Global().armed(), 0);
+  EXPECT_FALSE(Failpoint("common.test.never_armed"));
+  EXPECT_EQ(FailpointRegistry::Global().fired("common.test.never_armed"), 0u);
+}
+
+TEST(FailpointTest, ArmWithCountFiresExactlyThatManyTimes) {
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  reg.Arm("common.test.p", 3);
+  EXPECT_EQ(reg.armed(), 1);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(Failpoint("common.test.p"));
+  EXPECT_FALSE(Failpoint("common.test.p"));  // budget exhausted
+  EXPECT_EQ(reg.fired("common.test.p"), 3u);
+  EXPECT_EQ(reg.armed(), 0);
+  reg.ClearAll();
+}
+
+TEST(FailpointTest, DisarmStopsFiringButKeepsTheTally) {
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  reg.Arm("common.test.q");  // unlimited
+  EXPECT_TRUE(Failpoint("common.test.q"));
+  EXPECT_TRUE(Failpoint("common.test.q"));
+  reg.Disarm("common.test.q");
+  EXPECT_FALSE(Failpoint("common.test.q"));
+  EXPECT_EQ(reg.fired("common.test.q"), 2u);
+  reg.ClearAll();
+  EXPECT_EQ(reg.fired("common.test.q"), 0u);
+}
+
+TEST(FailpointTest, OnlyTheNamedPointFires) {
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  reg.Arm("common.test.armed", 1);
+  EXPECT_FALSE(Failpoint("common.test.other"));
+  EXPECT_TRUE(Failpoint("common.test.armed"));
+  EXPECT_EQ(reg.fired("common.test.other"), 0u);
+  reg.ClearAll();
+}
+
+TEST(FailpointTest, ArmFromSpecParsesNamesAndCounts) {
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  EXPECT_EQ(reg.ArmFromSpec("common.test.a:2,common.test.b"), 2u);
+  EXPECT_TRUE(Failpoint("common.test.a"));
+  EXPECT_TRUE(Failpoint("common.test.a"));
+  EXPECT_FALSE(Failpoint("common.test.a"));  // count 2 consumed
+  EXPECT_TRUE(Failpoint("common.test.b"));
+  EXPECT_TRUE(Failpoint("common.test.b"));  // unlimited
+  // Malformed entries are skipped without arming anything.
+  EXPECT_EQ(reg.ArmFromSpec(""), 0u);
+  EXPECT_EQ(reg.ArmFromSpec(",,"), 0u);
+  reg.ClearAll();
 }
 
 TEST(EnvTest, ParsesAndDefaults) {

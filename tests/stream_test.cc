@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "datagen/workloads.h"
 #include "datagen/zipf.h"
@@ -178,6 +179,72 @@ TEST(StreamStoreTest, StaleCommitRejectedAndCounted) {
   EXPECT_EQ(store.stale_commits(), 1u);
   EXPECT_EQ(store.epoch(), 1u);
   EXPECT_EQ(store.total_tuples(), 500u);
+}
+
+TEST(StreamStoreTest, StaleCommitFailpointForcesTheStalePath) {
+  // Fault injection: the forced-stale branch must behave exactly like a
+  // real epoch race — typed error, counted, store layout untouched — and
+  // the same staged rebuild pattern must succeed once the point disarms.
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+
+  StreamStoreConfig cfg;
+  cfg.initial_depth = 2;
+  StreamStore store(cfg);
+  IngestAll(&store, MakeTuples(RandomKeys(500, 29)));
+  const uint64_t checksum = store.KeyChecksum();
+
+  reg.Arm("stream.commit.stale", 1);
+  auto staged = store.PrepareSplit(0, 2);
+  ASSERT_TRUE(staged.ok());
+  Status st = store.Commit(std::move(staged).ValueUnsafe());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(reg.fired("stream.commit.stale"), 1u);
+  EXPECT_EQ(store.stale_commits(), 1u);
+  // The rejected commit must not have flipped the layout or lost a key.
+  EXPECT_EQ(store.epoch(), 0u);
+  EXPECT_EQ(store.total_tuples(), 500u);
+  EXPECT_EQ(store.KeyChecksum(), checksum);
+
+  // Budget spent: a fresh prepare/commit cycle goes through.
+  auto retry = store.PrepareSplit(0, 2);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(store.Commit(std::move(retry).ValueUnsafe()).ok());
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.KeyChecksum(), checksum);
+  reg.ClearAll();
+}
+
+TEST(StreamStoreTest, IngestSurvivesForcedStaleCommits) {
+  // Keep the failpoint armed across several cycles: every commit fails,
+  // ingest keeps running, and after disarming the store repartitions
+  // normally — the retry loop a production caller would run.
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  reg.Arm("stream.commit.stale", 3);
+
+  StreamStoreConfig cfg;
+  cfg.initial_depth = 2;
+  StreamStore store(cfg);
+  std::vector<uint32_t> all = RandomKeys(400, 31);
+  IngestAll(&store, MakeTuples(all));
+  for (int round = 0; round < 3; ++round) {
+    auto staged = store.PrepareSplit(0, 2);
+    ASSERT_TRUE(staged.ok());
+    EXPECT_FALSE(store.Commit(std::move(staged).ValueUnsafe()).ok());
+    const std::vector<uint32_t> more = RandomKeys(100, 100 + round);
+    IngestAll(&store, MakeTuples(more));
+    all.insert(all.end(), more.begin(), more.end());
+  }
+  EXPECT_EQ(store.stale_commits(), 3u);
+  EXPECT_EQ(store.epoch(), 0u);
+  auto staged = store.PrepareSplit(0, 2);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_TRUE(store.Commit(std::move(staged).ValueUnsafe()).ok());
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.total_tuples(), all.size());
+  EXPECT_EQ(store.KeyChecksum(), ExpectedChecksum(all));
+  reg.ClearAll();
 }
 
 TEST(StreamStoreTest, CommitScattersTheDeltaIngestedAfterPrepare) {

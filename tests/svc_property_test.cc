@@ -10,10 +10,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <thread>
+#include <atomic>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "svc/admission.h"
 #include "datagen/workloads.h"
 #include "svc/fpga_arbiter.h"
 #include "svc/job_queue.h"
@@ -242,6 +245,249 @@ TEST(WfqPropertyTest, RandomStreamsCompleteAgainstAnyPoolSize) {
       EXPECT_NEAR(pool.total_backlog_seconds(), 0.0, 1e-9);
     }
   }
+}
+
+
+// ---------------------------------------------------- admission properties
+
+// Shared driver: replay a randomized partition-job stream in deterministic
+// mode with SLO admission on and return the outcomes.
+struct AdmissionReplay {
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t hash = 0;  // FNV-1a over (i, backend, checksum) of completions
+  double worst_slack = std::numeric_limits<double>::infinity();
+};
+
+AdmissionReplay RunAdmissionReplay(const Relation<Tuple8>& rel,
+                                   uint64_t jobs, uint64_t seed,
+                                   double slo_seconds, double mean_gap,
+                                   size_t clients) {
+  SchedulerConfig config;
+  config.deterministic = true;
+  config.queue_capacity = jobs;
+  config.num_workers = 2;
+  config.fpga_devices = 2;
+  config.sim_mode = SimMode::kAnalytical;
+  config.sim_cache = true;
+  config.slo.enabled = true;
+  config.slo.class_slo_seconds = {slo_seconds, slo_seconds * 4.0, 0.0};
+  Scheduler scheduler(config);
+
+  // Pre-compute the stream (shared by every client split) so the replay
+  // is a pure function of (seed, jobs).
+  Rng rng(seed);
+  std::vector<double> arrivals(jobs);
+  std::vector<JobClass> classes(jobs);
+  double clock = 0.0;
+  for (uint64_t i = 0; i < jobs; ++i) {
+    clock += rng.NextDouble() * 2.0 * mean_gap;
+    arrivals[i] = clock;
+    classes[i] =
+        rng.NextDouble() < 0.5 ? JobClass::kInteractive : JobClass::kBatch;
+  }
+
+  std::vector<JobHandle> handles(jobs);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (uint64_t i = c; i < jobs; i += clients) {
+        PartitionJobSpec spec;
+        spec.input = &rel;
+        spec.request.fanout = 512;
+        spec.request.output_mode = OutputMode::kHist;
+        spec.request.sim_mode = SimMode::kAnalytical;
+        spec.request.sim_cache = true;
+        JobOptions opts;
+        opts.arrival_seq = i;
+        opts.virtual_arrival_seconds = arrivals[i];
+        opts.job_class = classes[i];
+        auto handle = scheduler.Submit(spec, opts);
+        ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+        handles[i] = std::move(handle).ValueUnsafe();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  scheduler.Shutdown();
+
+  AdmissionReplay r;
+  r.hash = 0xcbf29ce484222325ULL;
+  auto fold = [&r](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      r.hash ^= (v >> (b * 8)) & 0xff;
+      r.hash *= 0x100000001b3ULL;
+    }
+  };
+  for (uint64_t i = 0; i < jobs; ++i) {
+    auto out = handles[i].TryGet();
+    EXPECT_TRUE(out.has_value());
+    if (!out.has_value()) continue;
+    if (out->state == JobState::kRejected) {
+      ++r.rejected;
+      continue;
+    }
+    EXPECT_EQ(out->state, JobState::kCompleted) << out->status.ToString();
+    ++r.completed;
+    fold(i);
+    fold(static_cast<uint64_t>(out->backend));
+    fold(out->checksum);
+    if (out->admit_budget_seconds > 0.0) {
+      const double latency =
+          out->virtual_queue_seconds + out->virtual_run_seconds;
+      r.worst_slack = std::min(
+          r.worst_slack, out->admit_budget_seconds - latency);
+    }
+  }
+  return r;
+}
+
+// The tentpole invariant: across randomized overloaded streams, no job the
+// controller admitted ever finishes past the budget its prediction fit —
+// the deterministic prediction is exact, so the slack is never negative.
+TEST(AdmissionPropertyTest, AdmittedJobsNeverMissTheirBudget) {
+  auto rel_r = GenerateRawRelation(1 << 17, KeyDistribution::kRandom, 11);
+  ASSERT_TRUE(rel_r.ok());
+  Relation<Tuple8> rel = std::move(rel_r).ValueUnsafe();
+  uint64_t total_rejected = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    // Tight SLO + bursty arrivals: a real overload mix.
+    AdmissionReplay r =
+        RunAdmissionReplay(rel, /*jobs=*/40, seed,
+                           /*slo=*/0.002, /*mean_gap=*/1e-4, /*clients=*/1);
+    EXPECT_GT(r.completed, 0u) << "seed " << seed;
+    EXPECT_GE(r.worst_slack, 0.0) << "seed " << seed;
+    total_rejected += r.rejected;
+  }
+  EXPECT_GT(total_rejected, 0u);  // the streams really were infeasible
+}
+
+// At low load (arrivals far apart relative to the SLO) admission must be
+// invisible: zero rejects, every job completes.
+TEST(AdmissionPropertyTest, NoRejectsAtLowLoad) {
+  auto rel_r = GenerateRawRelation(1 << 14, KeyDistribution::kRandom, 12);
+  ASSERT_TRUE(rel_r.ok());
+  Relation<Tuple8> rel = std::move(rel_r).ValueUnsafe();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    AdmissionReplay r =
+        RunAdmissionReplay(rel, /*jobs=*/24, seed,
+                           /*slo=*/0.5, /*mean_gap=*/0.05, /*clients=*/1);
+    EXPECT_EQ(r.rejected, 0u) << "seed " << seed;
+    EXPECT_EQ(r.completed, 24u) << "seed " << seed;
+  }
+}
+
+// The replay — including which jobs get rejected — is a pure function of
+// the stream: submitting from 1, 2 or 4 racing clients must yield the
+// identical completion hash and rejection count.
+TEST(AdmissionPropertyTest, ReplayIsClientInterleavingInvariant) {
+  auto rel_r = GenerateRawRelation(1 << 17, KeyDistribution::kRandom, 13);
+  ASSERT_TRUE(rel_r.ok());
+  Relation<Tuple8> rel = std::move(rel_r).ValueUnsafe();
+  for (uint64_t seed = 21; seed <= 22; ++seed) {
+    AdmissionReplay base =
+        RunAdmissionReplay(rel, /*jobs=*/32, seed,
+                           /*slo=*/0.002, /*mean_gap=*/1e-4, /*clients=*/1);
+    for (size_t clients : {2u, 4u}) {
+      AdmissionReplay r = RunAdmissionReplay(rel, 32, seed,
+                                             0.002, 1e-4, clients);
+      EXPECT_EQ(r.hash, base.hash)
+          << "seed " << seed << " clients " << clients;
+      EXPECT_EQ(r.rejected, base.rejected)
+          << "seed " << seed << " clients " << clients;
+    }
+  }
+}
+
+// EWMA property: whatever constant mis-calibration factor the model has,
+// and whatever smoothing factor is configured, the learned correction
+// converges to the clamped true factor.
+TEST(AdmissionPropertyTest, EwmaConvergesUnderRandomMiscalibration) {
+  Rng rng(0xadA11);
+  for (int trial = 0; trial < 12; ++trial) {
+    SloConfig cfg;
+    cfg.enabled = true;
+    cfg.ewma_alpha = 0.05 + rng.NextDouble() * 0.9;
+    AdmissionController adm(cfg, 2, 1);
+    const double k = 0.1 + rng.NextDouble() * 6.0;  // may exceed the clamp
+    const auto backend =
+        static_cast<Backend>(trial % static_cast<int>(kNumBackends));
+    const double demand = trial % 2 == 0 ? 1000.0 : 2e6;
+    for (int i = 0; i < 400; ++i) {
+      const double model = 0.5 + rng.NextDouble();  // varying job sizes
+      adm.ObserveRun(backend, demand, model,
+                     model * adm.correction(backend, SizeClassOf(demand)),
+                     k * model, /*learn=*/true);
+    }
+    const double expect =
+        std::clamp(k, cfg.correction_floor, cfg.correction_cap);
+    EXPECT_NEAR(adm.correction(backend, SizeClassOf(demand)), expect, 0.02)
+        << "trial " << trial << " k=" << k << " alpha=" << cfg.ewma_alpha;
+  }
+}
+
+// TSan-raced stress: submissions, completions and active-worker
+// reconfiguration all racing with admission enabled; every job must reach
+// exactly one terminal state and the pending ledger must drain.
+TEST(AdmissionPropertyTest, RacedSubmitRejectReconfigureStress) {
+  auto rel_r = GenerateRawRelation(1 << 12, KeyDistribution::kRandom, 14);
+  ASSERT_TRUE(rel_r.ok());
+  Relation<Tuple8> rel = std::move(rel_r).ValueUnsafe();
+  SchedulerConfig config;
+  config.deterministic = false;
+  config.num_workers = 2;
+  config.max_workers = 4;
+  config.queue_capacity = 32;
+  config.slo.enabled = true;
+  config.slo.class_slo_seconds = {0.001, 10.0, 0.0};
+  Scheduler scheduler(config);
+  std::atomic<uint64_t> terminal{0};
+  std::atomic<bool> stop{false};
+  std::thread reconfig([&] {
+    size_t n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      scheduler.SetActiveWorkers(1 + (n++ % 4));
+      (void)scheduler.slo_pressure();
+      std::this_thread::yield();
+    }
+  });
+  constexpr size_t kClients = 4;
+  constexpr uint64_t kPerClient = 40;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(0x5eed + c);
+      std::vector<JobHandle> handles;
+      for (uint64_t i = 0; i < kPerClient; ++i) {
+        PartitionJobSpec spec;
+        spec.input = &rel;
+        spec.request.fanout = 256;
+        spec.request.output_mode = OutputMode::kHist;
+        JobOptions opts;
+        opts.job_class = rng.NextDouble() < 0.3 ? JobClass::kInteractive
+                                                : JobClass::kBatch;
+        auto handle = scheduler.Submit(spec, opts);
+        if (!handle.ok()) {
+          EXPECT_TRUE(handle.status().IsSloError() ||
+                      handle.status().IsCapacityError())
+              << handle.status().ToString();
+          terminal.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        handles.push_back(std::move(handle).ValueUnsafe());
+      }
+      for (auto& h : handles) {
+        h.Wait();
+        terminal.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  reconfig.join();
+  scheduler.Shutdown();
+  EXPECT_EQ(terminal.load(), kClients * kPerClient);
+  EXPECT_NEAR(scheduler.admission().pending_seconds(), 0.0, 1e-9);
 }
 
 }  // namespace

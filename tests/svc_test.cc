@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "core/engine.h"
 #include "datagen/workloads.h"
@@ -437,6 +438,110 @@ TEST(SchedulerTest, JoinJobMatchesOnBothBackends) {
   EXPECT_EQ(hybrid_out.matches, r->size());
   EXPECT_EQ(cpu_out.checksum, hybrid_out.checksum);
   EXPECT_GT(hybrid_out.device_seconds, 0.0);
+}
+
+// ------------------------------------------------------------- failpoints
+
+TEST(SchedulerTest, DeviceRunFailpointFailsTheJobAndReleasesTheLease) {
+  Relation<Tuple8> rel = MakeRelation(1 << 14);
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+  reg.Arm("svc.device.run", 1);
+
+  SchedulerConfig config;
+  config.num_workers = 1;
+  config.fpga_devices = 1;
+  Scheduler scheduler(config);
+
+  PartitionJobSpec spec;
+  spec.input = &rel;
+  spec.request.fanout = 512;
+  spec.request.output_mode = OutputMode::kHist;
+  JobOptions opts;
+  opts.pinned = Backend::kFpga;
+
+  auto failed = scheduler.Submit(spec, opts);
+  ASSERT_TRUE(failed.ok());
+  JobHandle failed_handle = std::move(failed).ValueUnsafe();
+  const JobOutcome& bad = failed_handle.Wait();
+  EXPECT_EQ(bad.state, JobState::kFailed);
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_NE(bad.status.ToString().find("failpoint"), std::string::npos);
+  EXPECT_EQ(reg.fired("svc.device.run"), 1u);
+
+  // The budget is spent, and — critically — the lease was released on the
+  // forced-failure path: the next device job acquires and completes.
+  auto ok = scheduler.Submit(spec, opts);
+  ASSERT_TRUE(ok.ok());
+  JobHandle ok_handle = std::move(ok).ValueUnsafe();
+  const JobOutcome& good = ok_handle.Wait();
+  EXPECT_EQ(good.state, JobState::kCompleted) << good.status.ToString();
+  EXPECT_EQ(good.backend, Backend::kFpga);
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.device_pool().grants(), 2u);
+  EXPECT_EQ(scheduler.device_pool().waiters(), 0u);
+  reg.ClearAll();
+}
+
+TEST(SchedulerTest, QueueFullFailpointForcesTheShedPath) {
+  Relation<Tuple8> rel = MakeRelation(1 << 12);
+  auto& reg = FailpointRegistry::Global();
+  reg.ClearAll();
+
+  SchedulerConfig config;
+  config.queue_capacity = 1024;  // plenty of room: only the failpoint sheds
+  config.num_workers = 1;
+  Scheduler scheduler(config);
+
+  PartitionJobSpec spec;
+  spec.input = &rel;
+  spec.request.fanout = 64;
+
+  reg.Arm("svc.queue.full", 2);
+  for (int i = 0; i < 2; ++i) {
+    auto h = scheduler.Submit(spec);
+    ASSERT_FALSE(h.ok());
+    EXPECT_TRUE(h.status().IsCapacityError()) << h.status().ToString();
+  }
+  EXPECT_EQ(scheduler.jobs_shed(), 2u);
+  // Budget exhausted: submissions flow again.
+  auto h = scheduler.Submit(spec);
+  ASSERT_TRUE(h.ok());
+  JobHandle flowing = std::move(h).ValueUnsafe();
+  EXPECT_EQ(flowing.Wait().state, JobState::kCompleted);
+  scheduler.Shutdown();
+  reg.ClearAll();
+}
+
+TEST(JobQueueTest, PerClassRejectCountersPopulatedInBothModes) {
+  // Regression: the svc.q.rejected.<class> counters (and the queue's own
+  // per-class shed tallies) must be bumped on every shed path — live WFQ
+  // and deterministic strict-seq alike.
+  auto& interactive_rejects = *obs::Registry::Global().GetCounter(
+      "svc.q.rejected.interactive");
+  for (int deterministic = 0; deterministic < 2; ++deterministic) {
+    const uint64_t before = interactive_rejects.Value();
+    JobQueue queue(/*capacity=*/1, /*strict_seq=*/deterministic == 1);
+    uint64_t seq = 0;
+    auto push = [&](JobClass cls) {
+      auto rec = std::make_shared<JobRecord>();
+      rec->cls = cls;
+      rec->wfq_cost = 1.0;
+      rec->seq = seq++;
+      return queue.Push(rec);
+    };
+    EXPECT_TRUE(push(JobClass::kBatch).ok());
+    for (int i = 0; i < 3; ++i) {
+      Status st = push(JobClass::kInteractive);
+      EXPECT_TRUE(st.IsCapacityError());
+    }
+    EXPECT_EQ(queue.shed(), 3u) << "deterministic=" << deterministic;
+    EXPECT_EQ(queue.shed(JobClass::kInteractive), 3u);
+    EXPECT_EQ(queue.shed(JobClass::kBatch), 0u);
+    EXPECT_EQ(queue.shed(JobClass::kBestEffort), 0u);
+    EXPECT_EQ(interactive_rejects.Value(), before + 3)
+        << "deterministic=" << deterministic;
+  }
 }
 
 TEST(SchedulerTest, FullQueueShedsAndReportsCapacityError) {
